@@ -1,0 +1,128 @@
+// E14 — engine and codec micro-benchmarks (google-benchmark).
+//
+// Throughput of the primitives everything else is built from: word-parallel
+// superimposition, noise injection, codeword generation, threshold and
+// nearest-codeword decoding, and a full Algorithm 1 round.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "beep/batch_engine.h"
+#include "codes/beep_code.h"
+#include "codes/decoders.h"
+#include "codes/distance_code.h"
+#include "common/bitstring.h"
+#include "graph/generators.h"
+#include "sim/transport.h"
+
+namespace {
+
+using namespace nb;
+
+void BM_BitstringOr(benchmark::State& state) {
+    const auto bits = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    Bitstring a = Bitstring::random(rng, bits);
+    const Bitstring b = Bitstring::random(rng, bits);
+    for (auto _ : state) {
+        a |= b;
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK(BM_BitstringOr)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_NoiseInjection(benchmark::State& state) {
+    const auto bits = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    for (auto _ : state) {
+        Bitstring s(bits);
+        s.apply_noise(rng, 0.1);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_NoiseInjection)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BeepCodeword(benchmark::State& state) {
+    const BeepCode code(static_cast<std::size_t>(state.range(0)), 256, 3);
+    std::uint64_t r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.codeword(++r));
+    }
+}
+BENCHMARK(BM_BeepCodeword)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Phase1Accept(benchmark::State& state) {
+    const BeepCode code(1 << 14, 256, 5);
+    const Phase1Decoder decoder(code, 0.1);
+    Bitstring heard(1 << 14);
+    for (std::uint64_t r = 0; r < 16; ++r) {
+        heard |= code.codeword(r);
+    }
+    const Bitstring candidate = code.codeword(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decoder.accepts_codeword(heard, candidate));
+    }
+}
+BENCHMARK(BM_Phase1Accept);
+
+void BM_DistanceDecode(benchmark::State& state) {
+    const DistanceCode code(16, 512, 7);
+    Rng rng(3);
+    std::vector<Bitstring> candidates;
+    for (int i = 0; i < 64; ++i) {
+        candidates.push_back(Bitstring::random(rng, 16));
+    }
+    const Bitstring received = code.encode(candidates[17]);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.decode(received, candidates));
+    }
+}
+BENCHMARK(BM_DistanceDecode);
+
+void BM_BatchHear(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(4);
+    const Graph g = make_random_regular(n, 8, rng);
+    std::vector<Bitstring> schedules;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        schedules.push_back(Bitstring::random(rng, 1 << 14));
+    }
+    BatchParams params;
+    params.channel.epsilon = 0.1;
+    const BatchEngine engine(g, params, Rng(5));
+    NodeId v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.hear(v, schedules));
+        v = (v + 1) % g.node_count();
+    }
+}
+BENCHMARK(BM_BatchHear)->Arg(64)->Arg(256);
+
+void BM_TransportRound(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    const Graph g = make_random_regular(n, 8, rng);
+    SimulationParams params;
+    params.epsilon = 0.1;
+    params.message_bits = 12;
+    params.c_eps = 4;
+    const BeepTransport transport(g, params);
+    Rng message_rng(7);
+    std::vector<std::optional<Bitstring>> messages(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        messages[v] = Bitstring::random(message_rng, 12);
+    }
+    std::uint64_t nonce = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(transport.simulate_round(messages, ++nonce));
+    }
+    state.counters["beep_rounds"] =
+        static_cast<double>(transport.rounds_per_broadcast_round());
+}
+BENCHMARK(BM_TransportRound)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

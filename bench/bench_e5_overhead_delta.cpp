@@ -1,0 +1,78 @@
+// E5 — Theorem 11: simulating one Broadcast CONGEST round costs
+// O(Delta log n) noisy-beep rounds; prior work pays Theta(min{n, Delta^2})
+// more; no simulation can beat Omega(Delta log n) (Corollary 16).
+//
+// Sweeps Delta at fixed n and prints, per simulated round: our measured cost
+// (executed), the G^2-TDMA baseline's measured cost (executed), the
+// [4]/[7] cost models, and the lower bound. The "ours/(Delta*logn)" column
+// flattening to a constant is the linear-in-Delta shape.
+#include <iostream>
+#include <optional>
+
+#include "baselines/cost_models.h"
+#include "baselines/tdma_transport.h"
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "sim/transport.h"
+
+int main() {
+    using namespace nb;
+    bench::header("E5", "Broadcast CONGEST overhead vs Delta (Theorem 11)",
+                  "ours: O(Delta log n) per round (noisy or noiseless); "
+                  "prior [4]: O(Delta log n min{n,Delta^2}); LB: Omega(Delta log n)");
+
+    const std::size_t n = 256;
+    const std::size_t log_n = ceil_log2(n);
+    const std::size_t message_bits = log_n;  // gamma = 1
+    const double eps = 0.1;
+
+    Table table({"Delta", "ours (beeps/round)", "ours/(D*logn)", "TDMA measured",
+                 "[4] model", "[7] model", "LB D*logn/2", "round ok"});
+    for (const std::size_t d : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        const Graph g = bench::regular_graph(n, d, 0xe5 + d);
+        const std::size_t delta = g.max_degree();
+
+        SimulationParams params;
+        params.epsilon = eps;
+        params.message_bits = message_bits;
+        params.c_eps = 4;
+        const BeepTransport ours(g, params);
+
+        TdmaParams tdma_params;
+        tdma_params.epsilon = eps;
+        tdma_params.message_bits = message_bits;
+        tdma_params.repetitions = TdmaParams::recommended_repetitions(n, eps);
+        const TdmaTransport tdma(g, tdma_params);
+
+        // Execute one round of each to confirm the costs are real, and to
+        // check delivery success.
+        Rng message_rng(5 + d);
+        std::vector<std::optional<Bitstring>> messages(g.node_count());
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+            messages[v] = Bitstring::random(message_rng, message_bits);
+        }
+        const auto ours_round = ours.simulate_round(messages, 0);
+        const auto tdma_round = tdma.simulate_round(messages, 0);
+
+        const double normalized = static_cast<double>(ours_round.beep_rounds) /
+                                  (static_cast<double>(delta) * static_cast<double>(log_n));
+        table.add_row({Table::num(delta), Table::num(ours_round.beep_rounds),
+                       Table::num(normalized, 1), Table::num(tdma_round.beep_rounds),
+                       Table::num(agl_congest_overhead(n, delta, log_n)),
+                       Table::num(beauquier_congest_overhead(delta, log_n)),
+                       Table::num(lower_bound_broadcast_overhead(delta, log_n)),
+                       (ours_round.perfect && tdma_round.perfect) ? "yes" : "partial"});
+    }
+    table.print(std::cout, "beep rounds per Broadcast CONGEST round (n=256, eps=0.1)");
+
+    std::cout << "note: '[4] model' counts a CONGEST round; on Broadcast CONGEST inputs\n"
+                 "it is the relevant prior per-round cost since [4]/[7] simulate via\n"
+                 "G^2 color classes either way. Setup costs excluded (ours has none;\n"
+                 "[4] pays Delta^4 log n, [7] pays Delta^6 once).\n\n";
+
+    bench::verdict(
+        "ours/(Delta*logn) is flat => linear-in-Delta overhead as Theorem 11 "
+        "states; TDMA and the [4]/[7] models grow ~Delta^2 faster; every cost "
+        "sits above the Omega(Delta log n) lower bound");
+    return 0;
+}

@@ -1,0 +1,37 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary regenerates one "table" of the paper (see DESIGN.md
+// section 4): it prints a header naming the paper claim, the experiment
+// setup, one or more tables, and a VERDICT line summarizing how the measured
+// shape compares to the claim. EXPERIMENTS.md records these outputs.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace nb::bench {
+
+inline void header(const std::string& id, const std::string& title, const std::string& claim) {
+    std::cout << "==================================================================\n"
+              << id << ": " << title << '\n'
+              << "paper claim: " << claim << '\n'
+              << "==================================================================\n\n";
+}
+
+inline void verdict(const std::string& text) { std::cout << "VERDICT: " << text << "\n\n"; }
+
+/// Random near-regular graph with max degree ~d (pairing model).
+inline Graph regular_graph(std::size_t n, std::size_t d, std::uint64_t seed) {
+    Rng rng(seed);
+    if ((n * d) % 2 != 0) {
+        ++d;
+    }
+    return make_random_regular(n, d, rng);
+}
+
+}  // namespace nb::bench

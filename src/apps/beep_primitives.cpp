@@ -1,0 +1,273 @@
+#include "apps/beep_primitives.h"
+
+#include <memory>
+
+#include "common/error.h"
+
+namespace nb {
+
+namespace {
+
+class WaveNode final : public BeepAlgorithm {
+public:
+    explicit WaveNode(bool is_source) : is_source_(is_source) {}
+
+    void initialize(NodeId self, const NetworkInfo& info, Rng& rng) override {
+        (void)self;
+        (void)info;
+        (void)rng;
+    }
+
+    BeepAction act(std::size_t round, Rng& rng) override {
+        (void)rng;
+        if (is_source_ && round == 0) {
+            beeped_round_ = 0;
+            return BeepAction::beep;
+        }
+        if (heard_round_.has_value() && !beeped_round_.has_value()) {
+            beeped_round_ = round;
+            return BeepAction::beep;
+        }
+        return BeepAction::listen;
+    }
+
+    void receive(std::size_t round, bool received, Rng& rng) override {
+        (void)rng;
+        if (received && !heard_round_.has_value()) {
+            heard_round_ = round;
+        }
+        if (beeped_round_.has_value() && round >= *beeped_round_) {
+            done_ = true;
+        }
+    }
+
+    bool finished() const override { return done_; }
+
+    /// Arrival time: the round the node itself beeped (the wavefront).
+    std::size_t arrival() const noexcept {
+        return beeped_round_.value_or(std::numeric_limits<std::size_t>::max());
+    }
+
+private:
+    bool is_source_;
+    std::optional<std::size_t> heard_round_;
+    std::optional<std::size_t> beeped_round_;
+    bool done_ = false;
+};
+
+class LeaderNode final : public BeepAlgorithm {
+public:
+    explicit LeaderNode(std::size_t rank_bits) : rank_bits_(rank_bits) {}
+
+    void initialize(NodeId self, const NetworkInfo& info, Rng& rng) override {
+        (void)info;
+        self_ = self;
+        rank_ = 0;
+        for (std::size_t i = 0; i < rank_bits_; ++i) {
+            rank_ = (rank_ << 1) | (rng.bernoulli(0.5) ? 1u : 0u);
+        }
+    }
+
+    BeepAction act(std::size_t round, Rng& rng) override {
+        (void)rng;
+        if (round >= rank_bits_ || !contending_) {
+            return BeepAction::listen;
+        }
+        const std::size_t bit_index = rank_bits_ - 1 - round;
+        const bool bit = (rank_ >> bit_index) & 1u;
+        return bit ? BeepAction::beep : BeepAction::listen;
+    }
+
+    void receive(std::size_t round, bool received, Rng& rng) override {
+        (void)rng;
+        if (round < rank_bits_) {
+            if (contending_) {
+                const std::size_t bit_index = rank_bits_ - 1 - round;
+                const bool bit = (rank_ >> bit_index) & 1u;
+                if (!bit && received) {
+                    contending_ = false;  // outranked: someone has a 1 here
+                }
+            }
+            if (round + 1 == rank_bits_) {
+                is_leader_ = contending_;
+                done_ = true;
+            }
+        }
+    }
+
+    bool finished() const override { return done_; }
+
+    bool is_leader() const noexcept { return is_leader_; }
+
+private:
+    std::size_t rank_bits_;
+    NodeId self_ = 0;
+    std::uint64_t rank_ = 0;
+    bool contending_ = true;
+    bool is_leader_ = false;
+    bool done_ = false;
+};
+
+/// Node protocol for beep_broadcast: relay with 2-round echo suppression,
+/// record own beep rounds, decode bits from relay timing.
+class BroadcastNode final : public BeepAlgorithm {
+public:
+    BroadcastNode(bool is_source, const Bitstring& message)
+        : is_source_(is_source), message_(message) {}
+
+    void initialize(NodeId, const NetworkInfo& info, Rng&) override {
+        node_count_ = info.node_count;
+    }
+
+    BeepAction act(std::size_t round, Rng&) override {
+        bool beep = false;
+        if (is_source_) {
+            // Pilot at round 0; wave i+1 at round 3(i+1) iff bit i is set.
+            if (round == 0) {
+                beep = true;
+            } else if (round % 3 == 0) {
+                const std::size_t wave = round / 3;
+                beep = wave >= 1 && wave <= message_.size() && message_.test(wave - 1);
+            }
+        } else {
+            beep = relay_pending_ && !beeped_last_ && !beeped_second_last_;
+        }
+        relay_pending_ = false;
+        beeped_second_last_ = beeped_last_;
+        beeped_last_ = beep;
+        if (beep) {
+            if (!pilot_round_.has_value()) {
+                pilot_round_ = round;
+            }
+            beep_rounds_.push_back(round);
+        }
+        return beep ? BeepAction::beep : BeepAction::listen;
+    }
+
+    void receive(std::size_t round, bool received, Rng&) override {
+        // "Heard while listening": own-beep rounds do not count as hearing.
+        if (received && !beeped_last_) {
+            relay_pending_ = true;
+        }
+        // A node can stop once every wave that could reach it has passed:
+        // its pilot round + 3*(b+1), plus one round to finish relaying.
+        const std::size_t horizon =
+            pilot_round_.has_value()
+                ? *pilot_round_ + 3 * (message_.size() + 1) + 1
+                : node_count_ + 3 * (message_.size() + 1) + 1;
+        if (round >= horizon) {
+            done_ = true;
+        }
+    }
+
+    bool finished() const override { return done_; }
+
+    bool reached() const noexcept { return pilot_round_.has_value(); }
+
+    /// Reconstruct the message from this node's own relay times.
+    Bitstring decode() const {
+        Bitstring result(message_.size());
+        if (is_source_) {
+            return message_;
+        }
+        if (!pilot_round_.has_value()) {
+            return result;
+        }
+        for (const auto round : beep_rounds_) {
+            if (round > *pilot_round_ && (round - *pilot_round_) % 3 == 0) {
+                const std::size_t wave = (round - *pilot_round_) / 3;
+                if (wave >= 1 && wave <= message_.size()) {
+                    result.set(wave - 1);
+                }
+            }
+        }
+        return result;
+    }
+
+private:
+    bool is_source_;
+    const Bitstring& message_;
+    std::size_t node_count_ = 0;
+
+    bool relay_pending_ = false;
+    bool beeped_last_ = false;
+    bool beeped_second_last_ = false;
+    std::optional<std::size_t> pilot_round_;
+    std::vector<std::size_t> beep_rounds_;
+    bool done_ = false;
+};
+
+}  // namespace
+
+BeepBroadcastResult beep_broadcast(const Graph& graph, NodeId source, const Bitstring& message,
+                                   std::uint64_t seed) {
+    require(source < graph.node_count(), "beep_broadcast: source out of range");
+    std::vector<std::unique_ptr<BeepAlgorithm>> nodes;
+    std::vector<BroadcastNode*> raw;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        auto node = std::make_unique<BroadcastNode>(v == source, message);
+        raw.push_back(node.get());
+        nodes.push_back(std::move(node));
+    }
+    RoundEngine engine(graph, ChannelParams{0.0, true}, Rng(seed));
+    BeepBroadcastResult result;
+    result.stats = engine.run(nodes, graph.node_count() + 3 * (message.size() + 2) + 2);
+    result.decoded.reserve(raw.size());
+    result.reached.reserve(raw.size());
+    for (const auto* node : raw) {
+        result.decoded.push_back(node->decode());
+        result.reached.push_back(node->reached());
+    }
+    return result;
+}
+
+BeepWaveResult beep_wave(const Graph& graph, NodeId source, double epsilon, std::uint64_t seed,
+                         std::size_t max_rounds) {
+    require(source < graph.node_count(), "beep_wave: source out of range");
+    std::vector<std::unique_ptr<BeepAlgorithm>> nodes;
+    std::vector<WaveNode*> raw;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        auto node = std::make_unique<WaveNode>(v == source);
+        raw.push_back(node.get());
+        nodes.push_back(std::move(node));
+    }
+    RoundEngine engine(graph, ChannelParams{epsilon, true}, Rng(seed));
+    BeepWaveResult result;
+    result.stats = engine.run(nodes, max_rounds);
+    result.arrival.reserve(raw.size());
+    for (const auto* node : raw) {
+        result.arrival.push_back(node->arrival());
+    }
+    return result;
+}
+
+LeaderElectionResult single_hop_leader_election(const Graph& graph, std::size_t rank_bits,
+                                                double epsilon, std::uint64_t seed) {
+    require(rank_bits >= 1 && rank_bits <= 64,
+            "single_hop_leader_election: rank_bits must be in [1, 64]");
+    std::vector<std::unique_ptr<BeepAlgorithm>> nodes;
+    std::vector<LeaderNode*> raw;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        auto node = std::make_unique<LeaderNode>(rank_bits);
+        raw.push_back(node.get());
+        nodes.push_back(std::move(node));
+    }
+    RoundEngine engine(graph, ChannelParams{epsilon, true}, Rng(seed));
+    LeaderElectionResult result;
+    result.stats = engine.run(nodes, rank_bits + 1);
+    for (NodeId v = 0; v < raw.size(); ++v) {
+        if (raw[v]->is_leader()) {
+            ++result.leaders_declared;
+            result.leader = v;
+        }
+    }
+    if (result.leaders_declared != 1) {
+        result.leader.reset();
+    }
+    return result;
+}
+
+}  // namespace nb

@@ -1,0 +1,69 @@
+// Native beeping-model primitives (round-engine users).
+//
+// These are classic tools from the beeping literature that the paper builds
+// on conceptually: beep waves ([19], formalized in [9]) for single-source
+// wake-up/broadcast, and single-hop randomized leader election by bitwise
+// rank elimination. They demonstrate the adaptive (round-at-a-time) side of
+// the beep substrate, complementing the oblivious batch side Algorithm 1
+// uses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "beep/round_engine.h"
+#include "common/bitstring.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+/// Result of a beep wave from `source`: per-node wave arrival time (equal to
+/// the BFS distance in the noiseless model) and rounds used.
+struct BeepWaveResult {
+    std::vector<std::size_t> arrival;  ///< round the wave reached each node;
+                                       ///< SIZE_MAX if never
+    RunStats stats;
+};
+
+/// Launch a beep wave: the source beeps in round 0; every node beeps once,
+/// in the round after it first hears a beep. In the noiseless model node v's
+/// arrival time is exactly dist(source, v).
+/// `max_rounds` caps execution (n+1 always suffices in the noiseless model).
+BeepWaveResult beep_wave(const Graph& graph, NodeId source, double epsilon,
+                         std::uint64_t seed, std::size_t max_rounds);
+
+/// Single-hop (clique) randomized leader election by bitwise elimination:
+/// each node draws a `rank_bits`-bit rank; scanning bits high to low, nodes
+/// still in contention beep iff their bit is 1, and any contender with bit 0
+/// that hears a beep drops out. With distinct ranks exactly one leader
+/// remains; ranks collide with probability <= n^2 / 2^rank_bits.
+struct LeaderElectionResult {
+    std::optional<NodeId> leader;      ///< unique self-declared leader, if any
+    std::size_t leaders_declared = 0;  ///< should be 1 on success
+    RunStats stats;
+};
+
+LeaderElectionResult single_hop_leader_election(const Graph& graph, std::size_t rank_bits,
+                                                double epsilon, std::uint64_t seed);
+
+/// Multi-bit single-source broadcast by pipelined beep waves ([9], [19]):
+/// the source launches a pilot wave at round 0 and one wave per 1-bit of the
+/// message at 3-round spacing; every node relays a heard beep one round
+/// later unless it beeped in the previous two rounds (echo suppression).
+/// A node decodes bit i as "did I relay a wave at (my pilot round) + 3(i+1)".
+/// Completes in D + 3(b+1) + 1 rounds on a network of diameter D — the
+/// O(D + b) bound from the literature. Noiseless model only (robust
+/// broadcast under noise is exactly what Algorithm 1 provides instead).
+struct BeepBroadcastResult {
+    /// decoded[v] = message recovered by v (empty Bitstring if unreached).
+    std::vector<Bitstring> decoded;
+    std::vector<bool> reached;
+    RunStats stats;
+};
+
+BeepBroadcastResult beep_broadcast(const Graph& graph, NodeId source, const Bitstring& message,
+                                   std::uint64_t seed);
+
+}  // namespace nb

@@ -1,0 +1,125 @@
+#include "apps/bfs.h"
+
+#include <algorithm>
+
+#include "common/bitpack.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "graph/algorithms.h"
+
+namespace nb {
+
+// Message layout (fixed width = 2*id_bits): sender:id_bits, distance:id_bits
+// (distances are < n so id_bits suffice).
+
+std::size_t BfsAlgorithm::required_message_bits(std::size_t node_count) {
+    const std::size_t id_bits =
+        std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, node_count)));
+    return 2 * id_bits;
+}
+
+void BfsAlgorithm::initialize(NodeId self, const CongestInfo& info, Rng& rng) {
+    (void)rng;
+    self_ = self;
+    node_count_ = info.node_count;
+    id_bits_ = std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, info.node_count)));
+    width_ = required_message_bits(info.node_count);
+    require(info.message_bits == 0 || info.message_bits >= width_,
+            "BfsAlgorithm: message budget too small");
+    if (self == source_) {
+        reached_ = true;
+        output_.distance = 0;
+    }
+}
+
+std::optional<Bitstring> BfsAlgorithm::broadcast(std::size_t round, Rng& rng) {
+    (void)round;
+    (void)rng;
+    if (reached_ && !announced_) {
+        announced_ = true;
+        BitWriter writer(width_);
+        writer.write(self_, id_bits_);
+        writer.write(output_.distance, id_bits_);
+        return writer.bits();
+    }
+    return std::nullopt;
+}
+
+void BfsAlgorithm::receive(std::size_t round, const std::vector<Bitstring>& messages, Rng& rng) {
+    (void)round;
+    (void)rng;
+    ++rounds_seen_;
+    if (!reached_) {
+        // Adopt the smallest-distance announcement (smallest id on ties).
+        for (const auto& message : messages) {
+            BitReader reader(message);
+            const auto id = static_cast<NodeId>(reader.read(id_bits_));
+            const std::size_t distance = reader.read(id_bits_);
+            if (!reached_ || distance + 1 < output_.distance ||
+                (distance + 1 == output_.distance && id < *output_.parent)) {
+                reached_ = true;
+                output_.distance = distance + 1;
+                output_.parent = id;
+            }
+        }
+    }
+    if (announced_ || rounds_seen_ > node_count_) {
+        done_ = true;
+    }
+}
+
+bool BfsAlgorithm::finished() const { return done_; }
+
+bool verify_bfs(const Graph& graph, NodeId source, const std::vector<BfsOutput>& outputs) {
+    require(outputs.size() == graph.node_count(), "verify_bfs: one output per node");
+    const auto expected = bfs_distances(graph, source);
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        const bool expect_reached = expected[v] != unreachable;
+        const bool got_reached =
+            outputs[v].distance != std::numeric_limits<std::size_t>::max();
+        if (expect_reached != got_reached) {
+            return false;
+        }
+        if (!expect_reached) {
+            continue;
+        }
+        if (outputs[v].distance != expected[v]) {
+            return false;
+        }
+        if (v == source) {
+            if (outputs[v].parent.has_value()) {
+                return false;
+            }
+            continue;
+        }
+        if (!outputs[v].parent.has_value() || !graph.has_edge(v, *outputs[v].parent) ||
+            expected[*outputs[v].parent] + 1 != expected[v]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> make_bfs_nodes(const Graph& graph,
+                                                                       NodeId source) {
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> nodes;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        nodes.push_back(std::make_unique<BfsAlgorithm>(source));
+    }
+    return nodes;
+}
+
+std::vector<BfsOutput> collect_bfs_outputs(
+    const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes) {
+    std::vector<BfsOutput> outputs;
+    outputs.reserve(nodes.size());
+    for (const auto& node : nodes) {
+        const auto* bfs = dynamic_cast<const BfsAlgorithm*>(node.get());
+        ensure(bfs != nullptr, "collect_bfs_outputs: not a BfsAlgorithm");
+        outputs.push_back(bfs->output());
+    }
+    return outputs;
+}
+
+}  // namespace nb

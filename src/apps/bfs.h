@@ -1,0 +1,60 @@
+// BFS tree / single-source shortest paths in Broadcast CONGEST (flooding).
+//
+// The source announces distance 0; a node adopting distance d broadcasts
+// <id, d> once in the following round. Parents are the smallest-id neighbor
+// at distance d-1. Completes in eccentricity(source)+1 rounds; nodes stop
+// after n rounds if unreached (they know n).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "congest/algorithm.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+struct BfsOutput {
+    std::size_t distance = std::numeric_limits<std::size_t>::max();  ///< hops; max = unreached
+    std::optional<NodeId> parent;                                    ///< none for source/unreached
+};
+
+class BfsAlgorithm final : public BroadcastCongestAlgorithm {
+public:
+    explicit BfsAlgorithm(NodeId source) : source_(source) {}
+
+    static std::size_t required_message_bits(std::size_t node_count);
+
+    void initialize(NodeId self, const CongestInfo& info, Rng& rng) override;
+    std::optional<Bitstring> broadcast(std::size_t round, Rng& rng) override;
+    void receive(std::size_t round, const std::vector<Bitstring>& messages, Rng& rng) override;
+    bool finished() const override;
+
+    const BfsOutput& output() const noexcept { return output_; }
+
+private:
+    NodeId source_;
+    NodeId self_ = 0;
+    std::size_t id_bits_ = 0;
+    std::size_t width_ = 0;
+    std::size_t node_count_ = 0;
+
+    bool reached_ = false;
+    bool announced_ = false;
+    std::size_t rounds_seen_ = 0;
+    BfsOutput output_;
+    bool done_ = false;
+};
+
+/// Check distances/parents against centralized BFS.
+bool verify_bfs(const Graph& graph, NodeId source, const std::vector<BfsOutput>& outputs);
+
+std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> make_bfs_nodes(const Graph& graph,
+                                                                       NodeId source);
+
+std::vector<BfsOutput> collect_bfs_outputs(
+    const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes);
+
+}  // namespace nb

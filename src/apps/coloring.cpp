@@ -1,0 +1,173 @@
+#include "apps/coloring.h"
+
+#include <algorithm>
+
+#include "common/bitpack.h"
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nb {
+
+// Message layout (fixed width = 2 + id_bits + color_bits):
+//   kind:2, id:id_bits, color:color_bits.
+// Round structure: round 0 announces ids; then iterations of (trial, fix).
+
+std::size_t ColoringAlgorithm::required_message_bits(std::size_t node_count,
+                                                     std::size_t max_degree) {
+    const std::size_t id_bits =
+        std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, node_count)));
+    const std::size_t color_bits =
+        std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, max_degree + 1)));
+    return 2 + id_bits + color_bits;
+}
+
+void ColoringAlgorithm::initialize(NodeId self, const CongestInfo& info, Rng& rng) {
+    (void)rng;
+    self_ = self;
+    id_bits_ = std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, info.node_count)));
+    palette_size_ = info.max_degree + 1;
+    color_bits_ =
+        std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, palette_size_)));
+    width_ = required_message_bits(info.node_count, info.max_degree);
+    require(info.message_bits == 0 || info.message_bits >= width_,
+            "ColoringAlgorithm: message budget too small");
+    taken_.assign(palette_size_, false);
+}
+
+Bitstring ColoringAlgorithm::encode(Kind kind, std::uint64_t id, std::uint64_t color) const {
+    BitWriter writer(width_);
+    writer.write(static_cast<std::uint64_t>(kind), 2);
+    writer.write(id, id_bits_);
+    writer.write(color, color_bits_);
+    return writer.bits();
+}
+
+std::size_t ColoringAlgorithm::sample_free_color(Rng& rng) const {
+    std::vector<std::size_t> free;
+    free.reserve(palette_size_);
+    for (std::size_t c = 0; c < palette_size_; ++c) {
+        if (!taken_[c]) {
+            free.push_back(c);
+        }
+    }
+    ensure(!free.empty(), "ColoringAlgorithm: palette exhausted (impossible for Delta+1)");
+    return free[static_cast<std::size_t>(rng.next_below(free.size()))];
+}
+
+std::optional<Bitstring> ColoringAlgorithm::broadcast(std::size_t round, Rng& rng) {
+    if (round == 0) {
+        return encode(Kind::announce, self_, 0);
+    }
+    const std::size_t phase = (round - 1) % 2;
+    if (phase == 0) {
+        trial_color_ = sample_free_color(rng);
+        trialing_ = true;
+        return encode(Kind::trial, self_, trial_color_);
+    }
+    if (fix_pending_) {
+        fix_pending_ = false;
+        announced_fix_ = true;
+        color_ = trial_color_;
+        return encode(Kind::fixed, self_, color_);
+    }
+    return std::nullopt;
+}
+
+void ColoringAlgorithm::receive(std::size_t round, const std::vector<Bitstring>& messages,
+                                Rng& rng) {
+    (void)rng;
+    if (round == 0) {
+        neighbors_.clear();
+        for (const auto& message : messages) {
+            BitReader reader(message);
+            if (static_cast<Kind>(reader.read(2)) == Kind::announce) {
+                neighbors_.push_back(static_cast<NodeId>(reader.read(id_bits_)));
+            }
+        }
+        std::sort(neighbors_.begin(), neighbors_.end());
+        if (neighbors_.empty()) {
+            color_ = 0;
+            done_ = true;
+        }
+        return;
+    }
+    const std::size_t phase = (round - 1) % 2;
+    if (phase == 0) {
+        if (!trialing_) {
+            return;
+        }
+        // Keep the trial color iff no neighbor tried the same one; ties are
+        // broken by id so exactly one of two clashing neighbors may keep it.
+        bool keep = true;
+        for (const auto& message : messages) {
+            BitReader reader(message);
+            if (static_cast<Kind>(reader.read(2)) != Kind::trial) {
+                continue;
+            }
+            const auto id = static_cast<NodeId>(reader.read(id_bits_));
+            const std::size_t color = reader.read(color_bits_);
+            if (color == trial_color_ && id < self_) {
+                keep = false;
+                break;
+            }
+        }
+        fix_pending_ = keep;
+        return;
+    }
+    // phase 1: record neighbors' fixed colors, then finish if we announced.
+    for (const auto& message : messages) {
+        BitReader reader(message);
+        if (static_cast<Kind>(reader.read(2)) != Kind::fixed) {
+            continue;
+        }
+        reader.read(id_bits_);
+        const std::size_t color = reader.read(color_bits_);
+        if (color < taken_.size()) {
+            taken_[color] = true;
+        }
+    }
+    if (announced_fix_) {
+        done_ = true;
+    }
+    trialing_ = false;
+}
+
+bool ColoringAlgorithm::finished() const { return done_; }
+
+bool verify_coloring(const Graph& graph, const std::vector<std::size_t>& colors) {
+    require(colors.size() == graph.node_count(), "verify_coloring: one color per node");
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        if (colors[v] > graph.max_degree()) {
+            return false;
+        }
+        for (const auto u : graph.neighbors(v)) {
+            if (colors[u] == colors[v]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> make_coloring_nodes(const Graph& graph) {
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> nodes;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        nodes.push_back(std::make_unique<ColoringAlgorithm>());
+    }
+    return nodes;
+}
+
+std::vector<std::size_t> collect_coloring_outputs(
+    const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes) {
+    std::vector<std::size_t> result;
+    result.reserve(nodes.size());
+    for (const auto& node : nodes) {
+        const auto* coloring = dynamic_cast<const ColoringAlgorithm*>(node.get());
+        ensure(coloring != nullptr, "collect_coloring_outputs: not a ColoringAlgorithm");
+        result.push_back(coloring->color());
+    }
+    return result;
+}
+
+}  // namespace nb

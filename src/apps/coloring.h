@@ -1,0 +1,66 @@
+// (Delta+1)-coloring in Broadcast CONGEST (random color trials).
+//
+// Per iteration (2 rounds): every uncolored node proposes a color sampled
+// uniformly from its palette (colors in [0, Delta] not permanently taken by
+// a neighbor) and broadcasts <id, color>; a node whose proposal conflicts
+// with no neighboring proposal or fixed color keeps it and announces
+// <id, color> as fixed. O(log n) iterations w.h.p.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "congest/algorithm.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+class ColoringAlgorithm final : public BroadcastCongestAlgorithm {
+public:
+    static std::size_t required_message_bits(std::size_t node_count, std::size_t max_degree);
+
+    void initialize(NodeId self, const CongestInfo& info, Rng& rng) override;
+    std::optional<Bitstring> broadcast(std::size_t round, Rng& rng) override;
+    void receive(std::size_t round, const std::vector<Bitstring>& messages, Rng& rng) override;
+    bool finished() const override;
+
+    /// Final color in [0, Delta]; only meaningful once finished().
+    std::size_t color() const noexcept { return color_; }
+
+private:
+    enum class Kind : std::uint64_t {
+        announce = 0,
+        trial = 1,
+        fixed = 2,
+    };
+
+    Bitstring encode(Kind kind, std::uint64_t id, std::uint64_t color) const;
+    std::size_t sample_free_color(Rng& rng) const;
+
+    NodeId self_ = 0;
+    std::size_t id_bits_ = 0;
+    std::size_t color_bits_ = 0;
+    std::size_t width_ = 0;
+    std::size_t palette_size_ = 0;
+
+    std::vector<NodeId> neighbors_;   ///< sorted neighbor ids
+    std::vector<bool> taken_;         ///< colors fixed by neighbors
+    std::size_t trial_color_ = 0;
+    bool trialing_ = false;
+    bool fix_pending_ = false;
+    bool announced_fix_ = false;
+
+    std::size_t color_ = 0;
+    bool done_ = false;
+};
+
+/// True iff colors form a proper coloring with every color <= max_degree.
+bool verify_coloring(const Graph& graph, const std::vector<std::size_t>& colors);
+
+std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> make_coloring_nodes(const Graph& graph);
+
+std::vector<std::size_t> collect_coloring_outputs(
+    const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes);
+
+}  // namespace nb

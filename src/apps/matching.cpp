@@ -1,0 +1,289 @@
+#include "apps/matching.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bitpack.h"
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nb {
+
+// Message layout (fixed width = 2 + 2*id_bits + value_bits):
+//   kind:2, lo:id_bits, hi:id_bits, value:value_bits
+// announce carries self in `lo`; reply/confirm leave `value` zero.
+
+std::size_t MatchingAlgorithm::required_message_bits(std::size_t node_count) {
+    const std::size_t id_bits =
+        std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, node_count)));
+    return 2 + 2 * id_bits + value_bits_;
+}
+
+void MatchingAlgorithm::initialize(NodeId self, const CongestInfo& info, Rng& rng) {
+    (void)rng;
+    self_ = self;
+    id_bits_ = std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, info.node_count)));
+    width_ = required_message_bits(info.node_count);
+    require(info.message_bits == 0 || info.message_bits >= width_,
+            "MatchingAlgorithm: message budget too small");
+}
+
+Bitstring MatchingAlgorithm::encode(Kind kind, EdgeKey edge, std::uint64_t value) const {
+    BitWriter writer(width_);
+    writer.write(static_cast<std::uint64_t>(kind), 2);
+    writer.write(edge.lo, id_bits_);
+    writer.write(edge.hi, id_bits_);
+    writer.write(value, value_bits_);
+    return writer.bits();
+}
+
+std::optional<Bitstring> MatchingAlgorithm::broadcast(std::size_t round, Rng& rng) {
+    if (round == 0) {
+        return encode(Kind::announce, EdgeKey{self_, self_}, 0);
+    }
+    const std::size_t phase = (round - 1) % 4;
+    switch (phase) {
+        case 0: {
+            // Propose: sample a value for each edge in H_v (edges whose
+            // higher-id endpoint is v, i.e. active partners with smaller id),
+            // broadcast the unique minimum if it exists.
+            proposed_.reset();
+            replied_to_.reset();
+            confirm_now_.reset();
+            proposed_value_ = std::numeric_limits<std::uint64_t>::max();
+            std::optional<EdgeKey> best;
+            std::uint64_t best_value = 0;
+            bool best_unique = true;
+            for (const auto u : active_) {
+                if (u >= self_) {
+                    continue;  // not in H_v
+                }
+                const std::uint64_t x = rng.next_below(std::uint64_t{1} << value_bits_);
+                if (!best.has_value() || x < best_value) {
+                    best = EdgeKey{u, self_};
+                    best_value = x;
+                    best_unique = true;
+                } else if (x == best_value) {
+                    best_unique = false;
+                }
+            }
+            if (best.has_value() && best_unique) {
+                proposed_ = best;
+                proposed_value_ = best_value;
+                return encode(Kind::propose, *best, best_value);
+            }
+            return std::nullopt;
+        }
+        case 1: {
+            if (replied_to_.has_value()) {
+                return encode(Kind::reply, *replied_to_, 0);
+            }
+            return std::nullopt;
+        }
+        case 2:
+        case 3: {
+            if (confirm_now_.has_value()) {
+                const Bitstring message = encode(Kind::confirm, *confirm_now_, 0);
+                confirm_now_.reset();
+                cease_after_receive_ = true;
+                return message;
+            }
+            return std::nullopt;
+        }
+        default:
+            return std::nullopt;
+    }
+}
+
+void MatchingAlgorithm::handle_confirm(EdgeKey edge) {
+    // A confirmed edge adjacent to v (but not containing v) removes the
+    // shared endpoints from v's active edge set.
+    if (edge.lo != self_ && edge.hi != self_) {
+        for (const auto endpoint : {edge.lo, edge.hi}) {
+            const auto it = std::lower_bound(active_.begin(), active_.end(), endpoint);
+            if (it != active_.end() && *it == endpoint) {
+                active_.erase(it);
+            }
+        }
+    }
+}
+
+void MatchingAlgorithm::finish_iteration() {
+    if (cease_after_receive_) {
+        ceased_ = true;
+        return;
+    }
+    if (active_.empty()) {
+        ceased_ = true;
+    }
+}
+
+void MatchingAlgorithm::receive(std::size_t round, const std::vector<Bitstring>& messages,
+                                Rng& rng) {
+    (void)rng;
+    if (round == 0) {
+        active_.clear();
+        for (const auto& message : messages) {
+            BitReader reader(message);
+            if (static_cast<Kind>(reader.read(2)) == Kind::announce) {
+                active_.push_back(static_cast<NodeId>(reader.read(id_bits_)));
+            }
+        }
+        std::sort(active_.begin(), active_.end());
+        active_.erase(std::unique(active_.begin(), active_.end()), active_.end());
+        if (active_.empty()) {
+            ceased_ = true;  // isolated node: trivially done, unmatched
+        }
+        return;
+    }
+
+    const std::size_t phase = (round - 1) % 4;
+    switch (phase) {
+        case 0: {
+            // Collect incident proposals; v can only be the lower endpoint
+            // (proposers are higher endpoints). Pick minimum value; ties
+            // between distinct edges resolve to the lexicographically
+            // smaller edge (deterministic, and only delays matching).
+            std::optional<EdgeKey> best;
+            std::uint64_t best_value = 0;
+            for (const auto& message : messages) {
+                BitReader reader(message);
+                if (static_cast<Kind>(reader.read(2)) != Kind::propose) {
+                    continue;
+                }
+                const auto lo = static_cast<NodeId>(reader.read(id_bits_));
+                const auto hi = static_cast<NodeId>(reader.read(id_bits_));
+                const std::uint64_t value = reader.read(value_bits_);
+                if (lo != self_) {
+                    continue;
+                }
+                if (!std::binary_search(active_.begin(), active_.end(), hi)) {
+                    continue;  // edge no longer active on v's side
+                }
+                if (!best.has_value() || value < best_value ||
+                    (value == best_value && hi < best->hi)) {
+                    best = EdgeKey{lo, hi};
+                    best_value = value;
+                }
+            }
+            if (best.has_value() && best_value < proposed_value_) {
+                replied_to_ = best;
+            }
+            break;
+        }
+        case 1: {
+            // The proposer matches if its edge drew a Reply and it did not
+            // itself Reply to someone else's smaller proposal.
+            if (!proposed_.has_value() || replied_to_.has_value()) {
+                break;
+            }
+            for (const auto& message : messages) {
+                BitReader reader(message);
+                if (static_cast<Kind>(reader.read(2)) != Kind::reply) {
+                    continue;
+                }
+                const auto lo = static_cast<NodeId>(reader.read(id_bits_));
+                const auto hi = static_cast<NodeId>(reader.read(id_bits_));
+                if (EdgeKey{lo, hi} == *proposed_) {
+                    confirm_now_ = proposed_;
+                    output_.partner = lo;  // v == hi of its own proposal
+                    break;
+                }
+            }
+            break;
+        }
+        case 2: {
+            for (const auto& message : messages) {
+                BitReader reader(message);
+                if (static_cast<Kind>(reader.read(2)) != Kind::confirm) {
+                    continue;
+                }
+                const auto lo = static_cast<NodeId>(reader.read(id_bits_));
+                const auto hi = static_cast<NodeId>(reader.read(id_bits_));
+                const EdgeKey edge{lo, hi};
+                if (replied_to_.has_value() && edge == *replied_to_) {
+                    // Our Reply was accepted: confirm back next sub-round.
+                    confirm_now_ = edge;
+                    output_.partner = (lo == self_) ? hi : lo;
+                } else {
+                    handle_confirm(edge);
+                }
+            }
+            if (cease_after_receive_) {
+                ceased_ = true;  // proposer leaves after broadcasting Confirm
+            }
+            break;
+        }
+        case 3: {
+            for (const auto& message : messages) {
+                BitReader reader(message);
+                if (static_cast<Kind>(reader.read(2)) != Kind::confirm) {
+                    continue;
+                }
+                const auto lo = static_cast<NodeId>(reader.read(id_bits_));
+                const auto hi = static_cast<NodeId>(reader.read(id_bits_));
+                handle_confirm(EdgeKey{lo, hi});
+            }
+            finish_iteration();
+            break;
+        }
+        default:
+            break;
+    }
+}
+
+bool MatchingAlgorithm::finished() const { return ceased_; }
+
+MatchingVerdict verify_matching(const Graph& graph, const std::vector<MatchingOutput>& outputs) {
+    require(outputs.size() == graph.node_count(), "verify_matching: one output per node");
+    MatchingVerdict verdict;
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        if (!outputs[v].partner.has_value()) {
+            continue;
+        }
+        const NodeId u = *outputs[v].partner;
+        if (u >= graph.node_count() || !graph.has_edge(u, v) ||
+            !outputs[u].partner.has_value() || *outputs[u].partner != v) {
+            verdict.symmetric = false;
+            continue;
+        }
+        if (v < u) {
+            ++verdict.matched_pairs;
+        }
+    }
+    for (const auto& edge : graph.edges()) {
+        if (!outputs[edge.first].partner.has_value() &&
+            !outputs[edge.second].partner.has_value()) {
+            verdict.maximal = false;
+            break;
+        }
+    }
+    return verdict;
+}
+
+std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> make_matching_nodes(const Graph& graph) {
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> nodes;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        nodes.push_back(std::make_unique<MatchingAlgorithm>());
+    }
+    return nodes;
+}
+
+std::vector<MatchingOutput> collect_matching_outputs(
+    const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes) {
+    std::vector<MatchingOutput> outputs;
+    outputs.reserve(nodes.size());
+    for (const auto& node : nodes) {
+        const auto* matching = dynamic_cast<const MatchingAlgorithm*>(node.get());
+        ensure(matching != nullptr, "collect_matching_outputs: not a MatchingAlgorithm");
+        outputs.push_back(matching->output());
+    }
+    return outputs;
+}
+
+std::size_t matching_rounds_for_iterations(std::size_t iterations) {
+    return 1 + 4 * iterations;
+}
+
+}  // namespace nb

@@ -1,0 +1,110 @@
+// Maximal matching in Broadcast CONGEST (paper Section 6, Algorithm 3).
+//
+// Luby-style edge matching: per iteration, the higher-id endpoint of each
+// edge samples a random value and Proposes its minimum edge; an endpoint
+// that hears a proposal smaller than its own Replies; the proposer Confirms,
+// the replier Confirms back, matched endpoints leave, and edges adjacent to
+// the matched edge are discarded. O(log n) iterations suffice w.h.p.
+// (Lemma 20); each iteration is 4 Broadcast CONGEST rounds here, after one
+// initial id-announcement round.
+//
+// The paper samples edge values from [n^9] purely so all values are distinct
+// w.h.p.; we use a fixed 48-bit value field, which gives the same
+// distinctness guarantee for every graph this library can hold (documented
+// substitution, DESIGN.md section 1). Ties are handled safely regardless:
+// tied proposals draw no Reply, the edge simply waits for a later iteration.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "congest/algorithm.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+/// A node's final matching output: its partner's id, or unmatched.
+struct MatchingOutput {
+    std::optional<NodeId> partner;
+};
+
+/// Per-node Algorithm 3 instance.
+class MatchingAlgorithm final : public BroadcastCongestAlgorithm {
+public:
+    /// Broadcast-message width this algorithm needs for `node_count` ids.
+    static std::size_t required_message_bits(std::size_t node_count);
+
+    void initialize(NodeId self, const CongestInfo& info, Rng& rng) override;
+    std::optional<Bitstring> broadcast(std::size_t round, Rng& rng) override;
+    void receive(std::size_t round, const std::vector<Bitstring>& messages, Rng& rng) override;
+    bool finished() const override;
+
+    const MatchingOutput& output() const noexcept { return output_; }
+
+    /// Number of still-active incident edges (|E_v|); 0 once ceased.
+    /// Observability hook for the Lemma 19 edge-decay experiment.
+    std::size_t active_edges() const noexcept { return ceased_ ? 0 : active_.size(); }
+
+private:
+    static constexpr std::size_t value_bits_ = 48;
+
+    enum class Kind : std::uint64_t {
+        announce = 0,
+        propose = 1,
+        reply = 2,
+        confirm = 3,
+    };
+
+    struct EdgeKey {
+        NodeId lo = 0;
+        NodeId hi = 0;
+        friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+    };
+
+    Bitstring encode(Kind kind, EdgeKey edge, std::uint64_t value) const;
+
+    void handle_confirm(EdgeKey edge);
+    void finish_iteration();
+
+    NodeId self_ = 0;
+    std::size_t id_bits_ = 0;
+    std::size_t width_ = 0;
+
+    std::vector<NodeId> active_;  ///< other endpoints of edges still in E_v, sorted
+
+    // Per-iteration state.
+    std::optional<EdgeKey> proposed_;       ///< own Propose edge e_v
+    std::uint64_t proposed_value_ = 0;      ///< x(e_v)
+    std::optional<EdgeKey> replied_to_;     ///< e'_v if v Replied this iteration
+    std::optional<EdgeKey> confirm_now_;    ///< Confirm to broadcast this sub-round
+    bool cease_after_receive_ = false;
+
+    MatchingOutput output_;
+    bool ceased_ = false;
+};
+
+/// Verdict of verify_matching.
+struct MatchingVerdict {
+    bool symmetric = true;    ///< partner-of-partner is self, pairs are edges
+    bool maximal = true;      ///< no edge with both endpoints unmatched
+    std::size_t matched_pairs = 0;
+
+    bool valid() const noexcept { return symmetric && maximal; }
+};
+
+/// Check a matching output against the graph (Lemma 17's conditions).
+MatchingVerdict verify_matching(const Graph& graph, const std::vector<MatchingOutput>& outputs);
+
+/// Fresh per-node algorithm instances for `graph`.
+std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> make_matching_nodes(const Graph& graph);
+
+/// Collect outputs from nodes created by make_matching_nodes.
+std::vector<MatchingOutput> collect_matching_outputs(
+    const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes);
+
+/// Broadcast CONGEST rounds for `iterations` Algorithm 3 iterations.
+std::size_t matching_rounds_for_iterations(std::size_t iterations);
+
+}  // namespace nb

@@ -1,0 +1,177 @@
+#include "apps/mis.h"
+
+#include <algorithm>
+
+#include "common/bitpack.h"
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nb {
+
+// Message layout (fixed width = 2 + id_bits + value_bits):
+//   kind:2, id:id_bits, value:value_bits (zero for announce/joined).
+//
+// Round structure: round 0 announces ids; from round 1, iterations of two
+// rounds: (candidate lottery, join announcements).
+
+std::size_t MisAlgorithm::required_message_bits(std::size_t node_count) {
+    const std::size_t id_bits =
+        std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, node_count)));
+    return 2 + id_bits + value_bits_;
+}
+
+void MisAlgorithm::initialize(NodeId self, const CongestInfo& info, Rng& rng) {
+    (void)rng;
+    self_ = self;
+    id_bits_ = std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, info.node_count)));
+    width_ = required_message_bits(info.node_count);
+    require(info.message_bits == 0 || info.message_bits >= width_,
+            "MisAlgorithm: message budget too small");
+}
+
+Bitstring MisAlgorithm::encode(Kind kind, std::uint64_t id, std::uint64_t value) const {
+    BitWriter writer(width_);
+    writer.write(static_cast<std::uint64_t>(kind), 2);
+    writer.write(id, id_bits_);
+    writer.write(value, value_bits_);
+    return writer.bits();
+}
+
+std::optional<Bitstring> MisAlgorithm::broadcast(std::size_t round, Rng& rng) {
+    if (round == 0) {
+        return encode(Kind::announce, self_, 0);
+    }
+    const std::size_t phase = (round - 1) % 2;
+    if (phase == 0) {
+        my_value_ = rng.next_below(std::uint64_t{1} << value_bits_);
+        candidate_this_iteration_ = true;
+        return encode(Kind::candidate, self_, my_value_);
+    }
+    if (join_pending_) {
+        join_pending_ = false;
+        in_mis_ = true;
+        // Announce joining; neighbors drop out on delivery, we finish after
+        // this round's receive.
+        return encode(Kind::joined, self_, 0);
+    }
+    return std::nullopt;
+}
+
+void MisAlgorithm::receive(std::size_t round, const std::vector<Bitstring>& messages, Rng& rng) {
+    (void)rng;
+    if (round == 0) {
+        active_.clear();
+        for (const auto& message : messages) {
+            BitReader reader(message);
+            if (static_cast<Kind>(reader.read(2)) == Kind::announce) {
+                active_.push_back(static_cast<NodeId>(reader.read(id_bits_)));
+            }
+        }
+        std::sort(active_.begin(), active_.end());
+        active_.erase(std::unique(active_.begin(), active_.end()), active_.end());
+        if (active_.empty()) {
+            in_mis_ = true;  // isolated nodes are always in the MIS
+            done_ = true;
+        }
+        return;
+    }
+    const std::size_t phase = (round - 1) % 2;
+    if (phase == 0) {
+        // Strict local minimum (ties broken by id) among active neighbors
+        // joins the MIS next round.
+        if (!candidate_this_iteration_) {
+            return;
+        }
+        bool is_minimum = true;
+        for (const auto& message : messages) {
+            BitReader reader(message);
+            if (static_cast<Kind>(reader.read(2)) != Kind::candidate) {
+                continue;
+            }
+            const auto id = static_cast<NodeId>(reader.read(id_bits_));
+            const std::uint64_t value = reader.read(value_bits_);
+            if (!std::binary_search(active_.begin(), active_.end(), id)) {
+                continue;
+            }
+            if (value < my_value_ || (value == my_value_ && id < self_)) {
+                is_minimum = false;
+                break;
+            }
+        }
+        join_pending_ = is_minimum;
+        return;
+    }
+    // phase 1: process join announcements.
+    if (in_mis_) {
+        done_ = true;  // we announced this round; leave
+        return;
+    }
+    bool neighbor_joined = false;
+    for (const auto& message : messages) {
+        BitReader reader(message);
+        if (static_cast<Kind>(reader.read(2)) != Kind::joined) {
+            continue;
+        }
+        const auto id = static_cast<NodeId>(reader.read(id_bits_));
+        const auto it = std::lower_bound(active_.begin(), active_.end(), id);
+        if (it != active_.end() && *it == id) {
+            active_.erase(it);
+            neighbor_joined = true;
+        }
+    }
+    if (neighbor_joined) {
+        done_ = true;  // dominated: out of the MIS, stop participating
+    } else if (active_.empty()) {
+        in_mis_ = true;  // all neighbors gone without dominating us
+        done_ = true;
+    }
+    candidate_this_iteration_ = false;
+}
+
+bool MisAlgorithm::finished() const { return done_; }
+
+MisVerdict verify_mis(const Graph& graph, const std::vector<bool>& in_mis) {
+    require(in_mis.size() == graph.node_count(), "verify_mis: one flag per node");
+    MisVerdict verdict;
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        if (in_mis[v]) {
+            ++verdict.size;
+        }
+        bool dominated = in_mis[v];
+        for (const auto u : graph.neighbors(v)) {
+            if (in_mis[v] && in_mis[u]) {
+                verdict.independent = false;
+            }
+            if (in_mis[u]) {
+                dominated = true;
+            }
+        }
+        if (!dominated) {
+            verdict.maximal = false;
+        }
+    }
+    return verdict;
+}
+
+std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> make_mis_nodes(const Graph& graph) {
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> nodes;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        nodes.push_back(std::make_unique<MisAlgorithm>());
+    }
+    return nodes;
+}
+
+std::vector<bool> collect_mis_outputs(
+    const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes) {
+    std::vector<bool> result;
+    result.reserve(nodes.size());
+    for (const auto& node : nodes) {
+        const auto* mis = dynamic_cast<const MisAlgorithm*>(node.get());
+        ensure(mis != nullptr, "collect_mis_outputs: not a MisAlgorithm");
+        result.push_back(mis->in_mis());
+    }
+    return result;
+}
+
+}  // namespace nb

@@ -1,0 +1,72 @@
+// Maximal independent set in Broadcast CONGEST (Luby's algorithm [25]).
+//
+// Per iteration (2 Broadcast CONGEST rounds): every active node samples a
+// random value and broadcasts <id, value>; a node whose value is a strict
+// local minimum among active neighbors joins the MIS and announces it;
+// neighbors of new MIS nodes drop out. O(log n) iterations w.h.p.
+//
+// Included as a second exercise of the simulation stack (the paper's
+// Section 1.3 point: a host of algorithms transfer out-of-the-box).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "congest/algorithm.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+class MisAlgorithm final : public BroadcastCongestAlgorithm {
+public:
+    static std::size_t required_message_bits(std::size_t node_count);
+
+    void initialize(NodeId self, const CongestInfo& info, Rng& rng) override;
+    std::optional<Bitstring> broadcast(std::size_t round, Rng& rng) override;
+    void receive(std::size_t round, const std::vector<Bitstring>& messages, Rng& rng) override;
+    bool finished() const override;
+
+    bool in_mis() const noexcept { return in_mis_; }
+
+private:
+    static constexpr std::size_t value_bits_ = 48;
+
+    enum class Kind : std::uint64_t {
+        announce = 0,  ///< round 0 id exchange
+        candidate = 1, ///< <id, value> lottery ticket
+        joined = 2,    ///< id joined the MIS
+    };
+
+    Bitstring encode(Kind kind, std::uint64_t id, std::uint64_t value) const;
+
+    NodeId self_ = 0;
+    std::size_t id_bits_ = 0;
+    std::size_t width_ = 0;
+
+    std::vector<NodeId> active_;  ///< active neighbors, sorted
+    std::uint64_t my_value_ = 0;
+    bool candidate_this_iteration_ = false;
+    bool join_pending_ = false;
+
+    bool in_mis_ = false;
+    bool done_ = false;
+};
+
+/// Verdict of verify_mis.
+struct MisVerdict {
+    bool independent = true;
+    bool maximal = true;
+    std::size_t size = 0;
+
+    bool valid() const noexcept { return independent && maximal; }
+};
+
+MisVerdict verify_mis(const Graph& graph, const std::vector<bool>& in_mis);
+
+std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> make_mis_nodes(const Graph& graph);
+
+std::vector<bool> collect_mis_outputs(
+    const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes);
+
+}  // namespace nb

@@ -1,0 +1,134 @@
+#include "apps/multihop_election.h"
+
+#include <memory>
+
+#include "common/error.h"
+
+namespace nb {
+
+namespace {
+
+/// One node of the phased-wave election protocol.
+class ElectionNode final : public BeepAlgorithm {
+public:
+    ElectionNode(std::size_t rank_bits, std::size_t phase_length)
+        : rank_bits_(rank_bits), phase_length_(phase_length) {}
+
+    void initialize(NodeId, const NetworkInfo&, Rng& rng) override {
+        rank_ = 0;
+        for (std::size_t i = 0; i < rank_bits_; ++i) {
+            rank_ = (rank_ << 1) | (rng.bernoulli(0.5) ? 1u : 0u);
+        }
+        observed_ = Bitstring(rank_bits_);
+    }
+
+    BeepAction act(std::size_t round, Rng&) override {
+        const std::size_t phase = round / phase_length_;
+        const std::size_t offset = round % phase_length_;
+        if (offset == 0) {
+            // Phase start: reset wave state; candidates with a 1 bit launch.
+            wave_detected_ = false;
+            relay_pending_ = false;
+            beeped_last_ = false;
+            beeped_second_last_ = false;
+        }
+        bool beep = false;
+        if (offset == 0) {
+            beep = contending_ && current_bit(phase);
+        } else {
+            beep = relay_pending_ && !beeped_last_ && !beeped_second_last_;
+        }
+        relay_pending_ = false;
+        beeped_second_last_ = beeped_last_;
+        beeped_last_ = beep;
+        if (beep) {
+            wave_detected_ = true;
+        }
+        return beep ? BeepAction::beep : BeepAction::listen;
+    }
+
+    void receive(std::size_t round, bool received, Rng&) override {
+        const std::size_t phase = round / phase_length_;
+        const std::size_t offset = round % phase_length_;
+        if (received && !beeped_last_) {
+            relay_pending_ = true;
+            wave_detected_ = true;
+        }
+        if (offset + 1 == phase_length_) {
+            // Phase end: record the bit; losing contenders drop out.
+            if (wave_detected_) {
+                observed_.set(rank_bits_ - 1 - phase);
+                if (contending_ && !current_bit(phase)) {
+                    contending_ = false;
+                }
+            }
+            if (phase + 1 == rank_bits_) {
+                is_leader_ = contending_;
+                done_ = true;
+            }
+        }
+    }
+
+    bool finished() const override { return done_; }
+
+    bool is_leader() const noexcept { return is_leader_; }
+    const Bitstring& observed_rank() const noexcept { return observed_; }
+
+private:
+    bool current_bit(std::size_t phase) const noexcept {
+        return (rank_ >> (rank_bits_ - 1 - phase)) & 1u;
+    }
+
+    std::size_t rank_bits_;
+    std::size_t phase_length_;
+    std::uint64_t rank_ = 0;
+    Bitstring observed_;
+
+    bool contending_ = true;
+    bool wave_detected_ = false;
+    bool relay_pending_ = false;
+    bool beeped_last_ = false;
+    bool beeped_second_last_ = false;
+    bool is_leader_ = false;
+    bool done_ = false;
+};
+
+}  // namespace
+
+MultihopElectionResult multihop_leader_election(const Graph& graph, std::size_t rank_bits,
+                                                std::size_t phase_length, std::uint64_t seed) {
+    require(rank_bits >= 1 && rank_bits <= 64,
+            "multihop_leader_election: rank_bits must be in [1, 64]");
+    require(phase_length >= 2, "multihop_leader_election: phase_length must be >= 2");
+
+    std::vector<std::unique_ptr<BeepAlgorithm>> nodes;
+    std::vector<ElectionNode*> raw;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        auto node = std::make_unique<ElectionNode>(rank_bits, phase_length);
+        raw.push_back(node.get());
+        nodes.push_back(std::move(node));
+    }
+    RoundEngine engine(graph, ChannelParams{0.0, true}, Rng(seed));
+    MultihopElectionResult result;
+    result.stats = engine.run(nodes, rank_bits * phase_length + 1);
+
+    for (NodeId v = 0; v < raw.size(); ++v) {
+        if (raw[v]->is_leader()) {
+            ++result.leaders_declared;
+            result.leader = v;
+        }
+    }
+    if (result.leaders_declared != 1) {
+        result.leader.reset();
+    }
+    if (!raw.empty()) {
+        result.winning_rank = raw[0]->observed_rank();
+        for (const auto* node : raw) {
+            result.all_agree_on_rank &= node->observed_rank() == result.winning_rank;
+        }
+    }
+    return result;
+}
+
+}  // namespace nb

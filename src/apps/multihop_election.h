@@ -1,0 +1,42 @@
+// Multi-hop leader election by phased beep waves.
+//
+// A simple wave-composed election in the spirit of the beeping leader-
+// election literature ([19], [10], [16] — see paper Section 1.2): every node
+// draws an L-bit rank; in phase i (a window of `phase_length` rounds, which
+// must exceed the network diameter) every still-contending candidate whose
+// i-th rank bit (MSB first) is 1 launches a beep wave; all nodes relay with
+// echo suppression. Contenders with bit 0 that observe a wave drop out, and
+// every node records the phase bit — so at the end all nodes know the
+// winning rank and the unique maximum-rank candidate knows it leads.
+//
+// Round complexity L * phase_length = O(log n * n) with the safe defaults —
+// deliberately simple rather than the literature's optimal O(D + log n);
+// this is a demonstration of composing the wave primitive, not a
+// reproduction of [11].
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "beep/round_engine.h"
+#include "common/bitstring.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+struct MultihopElectionResult {
+    std::optional<NodeId> leader;       ///< unique self-declared leader, if any
+    std::size_t leaders_declared = 0;   ///< 1 on success
+    Bitstring winning_rank;             ///< rank bits as observed by node 0
+    bool all_agree_on_rank = true;      ///< every node observed the same bits
+    RunStats stats;
+};
+
+/// Run the election. Preconditions: graph connected (callers on disconnected
+/// graphs get one leader per component but `leader` reports uniqueness
+/// globally), rank_bits in [1, 64], phase_length > diameter.
+MultihopElectionResult multihop_leader_election(const Graph& graph, std::size_t rank_bits,
+                                                std::size_t phase_length, std::uint64_t seed);
+
+}  // namespace nb

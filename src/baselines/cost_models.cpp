@@ -1,0 +1,63 @@
+#include "baselines/cost_models.h"
+
+#include <algorithm>
+
+namespace nb {
+
+std::size_t ours_broadcast_overhead(std::size_t delta, std::size_t message_bits,
+                                    std::size_t c_eps) {
+    return 2 * c_eps * c_eps * c_eps * (delta + 1) * (message_bits + 1);
+}
+
+std::size_t ours_congest_overhead(std::size_t delta, std::size_t message_bits,
+                                  std::size_t c_eps) {
+    return std::max<std::size_t>(1, delta) *
+           ours_broadcast_overhead(delta, message_bits, c_eps);
+}
+
+std::size_t agl_congest_overhead(std::size_t n, std::size_t delta, std::size_t log_n) {
+    return delta * log_n * std::min(n, delta * delta);
+}
+
+std::size_t agl_setup_rounds(std::size_t delta, std::size_t log_n) {
+    return delta * delta * delta * delta * log_n;
+}
+
+std::size_t beauquier_congest_overhead(std::size_t delta, std::size_t log_n) {
+    return delta * delta * delta * delta * log_n;
+}
+
+std::size_t beauquier_setup_rounds(std::size_t delta) {
+    return delta * delta * delta * delta * delta * delta;
+}
+
+std::size_t lower_bound_broadcast_overhead(std::size_t delta, std::size_t log_n) {
+    return delta * log_n / 2;
+}
+
+std::size_t lower_bound_congest_overhead(std::size_t delta, std::size_t log_n) {
+    return delta * delta * log_n / 2;
+}
+
+std::size_t ours_matching_rounds(std::size_t delta, std::size_t log_n, std::size_t c_eps,
+                                 std::size_t message_bits) {
+    // 4 log n iterations of 4 sub-rounds plus the id round (Algorithm 3).
+    const std::size_t congest_rounds = 1 + 16 * log_n;
+    return congest_rounds * ours_broadcast_overhead(delta, message_bits, c_eps);
+}
+
+std::size_t prior_matching_rounds(std::size_t n, std::size_t delta, std::size_t log_n,
+                                  std::size_t log_star_n) {
+    return (delta + log_star_n) * agl_congest_overhead(n, delta, log_n) +
+           agl_setup_rounds(delta, log_n);
+}
+
+std::size_t matching_lower_bound(std::size_t delta, std::size_t log_n) {
+    return delta * log_n;
+}
+
+std::size_t local_broadcast_lower_bound(std::size_t delta, std::size_t message_bits) {
+    return delta * delta * message_bits / 2;
+}
+
+}  // namespace nb

@@ -1,0 +1,57 @@
+// Closed-form round-cost models of this paper and the prior work it
+// improves on, used by the experiment benches to draw comparison curves at
+// sizes where executing the baselines would be infeasible.
+//
+// All formulas return beep-model rounds. Constant factors are set to 1
+// (the sources give asymptotic statements); the experiments compare
+// *shapes* — growth exponents and crossovers — not absolute constants.
+#pragma once
+
+#include <cstddef>
+
+namespace nb {
+
+/// This paper, Theorem 11: beep rounds per Broadcast CONGEST round,
+/// 2 * c_eps^3 * (Delta+1) * (B+1)  (Algorithm 1, both phases).
+std::size_t ours_broadcast_overhead(std::size_t delta, std::size_t message_bits,
+                                    std::size_t c_eps);
+
+/// This paper, Corollary 12: beep rounds per CONGEST round
+/// (Delta Broadcast CONGEST slots per CONGEST round).
+std::size_t ours_congest_overhead(std::size_t delta, std::size_t message_bits,
+                                  std::size_t c_eps);
+
+/// Ashkenazi-Gelles-Leshem [4]: per-CONGEST-round overhead
+/// Delta * log n * min{n, Delta^2}.
+std::size_t agl_congest_overhead(std::size_t n, std::size_t delta, std::size_t log_n);
+
+/// Ashkenazi-Gelles-Leshem [4]: one-off setup cost Delta^4 * log n.
+std::size_t agl_setup_rounds(std::size_t delta, std::size_t log_n);
+
+/// Beauquier et al. [7] (noiseless): per-CONGEST-round cost Delta^4 * log n
+/// after a Delta^6-round setup.
+std::size_t beauquier_congest_overhead(std::size_t delta, std::size_t log_n);
+std::size_t beauquier_setup_rounds(std::size_t delta);
+
+/// Lower bounds (Corollary 16): any simulation of Broadcast CONGEST needs
+/// Delta * log n / 2 rounds per round; CONGEST needs Delta^2 * log n / 2.
+std::size_t lower_bound_broadcast_overhead(std::size_t delta, std::size_t log_n);
+std::size_t lower_bound_congest_overhead(std::size_t delta, std::size_t log_n);
+
+/// Maximal matching end-to-end (Section 6):
+/// ours (Theorem 21): O(log n) Broadcast CONGEST rounds * Theorem 11 overhead.
+std::size_t ours_matching_rounds(std::size_t delta, std::size_t log_n, std::size_t c_eps,
+                                 std::size_t message_bits);
+
+/// Prior route (Section 6): Panconesi-Rizzi O(Delta + log* n) CONGEST rounds
+/// under [4]'s simulation: (Delta + log* n) * agl_congest_overhead + setup.
+std::size_t prior_matching_rounds(std::size_t n, std::size_t delta, std::size_t log_n,
+                                  std::size_t log_star_n);
+
+/// Matching lower bound (Theorem 22): Delta * log n.
+std::size_t matching_lower_bound(std::size_t delta, std::size_t log_n);
+
+/// B-bit Local Broadcast lower bound (Lemma 14): Delta^2 * B / 2.
+std::size_t local_broadcast_lower_bound(std::size_t delta, std::size_t message_bits);
+
+}  // namespace nb

@@ -1,0 +1,136 @@
+#include "baselines/tdma_transport.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "beep/batch_engine.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "congest/algorithm.h"
+#include "graph/algorithms.h"
+
+namespace nb {
+
+std::size_t TdmaParams::recommended_repetitions(std::size_t node_count, double epsilon) {
+    if (epsilon <= 0.0) {
+        return 1;
+    }
+    // Majority over rho repetitions fails with probability
+    // exp(-rho * (1/2 - eps)^2 / 2); choose rho so this is ~ n^-3, and make
+    // it odd so majorities are never tied.
+    const double margin = 0.5 - epsilon;
+    const double needed =
+        6.0 * std::log(std::max<double>(4.0, static_cast<double>(node_count))) /
+        (margin * margin);
+    auto rho = static_cast<std::size_t>(std::ceil(needed));
+    if (rho % 2 == 0) {
+        ++rho;
+    }
+    return rho;
+}
+
+TdmaTransport::TdmaTransport(const Graph& graph, TdmaParams params)
+    : graph_(graph), params_(params) {
+    require(params_.epsilon >= 0.0 && params_.epsilon < 0.5,
+            "TdmaTransport: epsilon must be in [0, 1/2)");
+    require(params_.message_bits >= 1, "TdmaTransport: message_bits must be >= 1");
+    require(params_.repetitions >= 1, "TdmaTransport: repetitions must be >= 1");
+    colors_ = greedy_distance2_coloring(graph_);
+    color_count_ = graph_.node_count() == 0 ? 0 : nb::color_count(colors_);
+}
+
+std::size_t TdmaTransport::rounds_per_broadcast_round() const {
+    // One slot of (message_bits + 1 presence bit) * repetitions per color.
+    return color_count_ * (params_.message_bits + 1) * params_.repetitions;
+}
+
+TransportRound TdmaTransport::simulate_round(
+    const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce) const {
+    const std::size_t n = graph_.node_count();
+    require(messages.size() == n, "TdmaTransport::simulate_round: one message slot per node");
+
+    const std::size_t payload_bits = params_.message_bits + 1;
+    const std::size_t slot_bits = payload_bits * params_.repetitions;
+    const std::size_t total_bits = rounds_per_broadcast_round();
+
+    // Build beep schedules: node v transmits its payload (presence bit, then
+    // message bits), each bit repeated, inside its color's slot.
+    std::vector<Bitstring> schedules;
+    schedules.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        Bitstring schedule(total_bits);
+        if (messages[v].has_value()) {
+            require(messages[v]->size() <= params_.message_bits,
+                    "TdmaTransport: message exceeds the bit budget");
+            const std::size_t base = colors_[v] * slot_bits;
+            auto write_bit = [&](std::size_t bit_index, bool value) {
+                if (value) {
+                    for (std::size_t rep = 0; rep < params_.repetitions; ++rep) {
+                        schedule.set(base + bit_index * params_.repetitions + rep);
+                    }
+                }
+            };
+            write_bit(0, true);  // presence
+            for (std::size_t i = 0; i < messages[v]->size(); ++i) {
+                write_bit(1 + i, messages[v]->test(i));
+            }
+        }
+        schedules.push_back(std::move(schedule));
+    }
+
+    const Rng round_rng = Rng(params_.transport_seed).derive(0x726f756eu, round_nonce);
+    const BatchParams channel{ChannelParams{params_.epsilon, true}, false};
+    const BatchEngine engine(graph_, channel, round_rng);
+
+    TransportRound result;
+    result.beep_rounds = total_bits;
+    result.total_beeps = BatchEngine::total_beeps(schedules);
+    result.delivered.resize(n);
+
+    const std::size_t majority = params_.repetitions / 2 + 1;
+    for (NodeId v = 0; v < n; ++v) {
+        const Bitstring heard = engine.hear(v, schedules);
+        // Decode one message per neighbor from that neighbor's color slot
+        // (the setup coloring tells v when each neighbor transmits).
+        for (const auto u : graph_.neighbors(v)) {
+            const std::size_t base = colors_[u] * slot_bits;
+            auto read_bit = [&](std::size_t bit_index) {
+                std::size_t ones = 0;
+                for (std::size_t rep = 0; rep < params_.repetitions; ++rep) {
+                    if (heard.test(base + bit_index * params_.repetitions + rep)) {
+                        ++ones;
+                    }
+                }
+                return ones >= majority;
+            };
+            if (!read_bit(0)) {
+                continue;  // no presence: neighbor was silent
+            }
+            Bitstring message(params_.message_bits);
+            for (std::size_t i = 0; i < params_.message_bits; ++i) {
+                if (read_bit(1 + i)) {
+                    message.set(i);
+                }
+            }
+            result.delivered[v].push_back(std::move(message));
+        }
+        sort_messages(result.delivered[v]);
+
+        std::vector<Bitstring> expected;
+        for (const auto u : graph_.neighbors(v)) {
+            if (messages[u].has_value()) {
+                Bitstring padded(params_.message_bits);
+                messages[u]->for_each_one([&padded](std::size_t i) { padded.set(i); });
+                expected.push_back(std::move(padded));
+            }
+        }
+        sort_messages(expected);
+        if (expected != result.delivered[v]) {
+            ++result.delivery_mismatches;
+        }
+    }
+    result.perfect = result.delivery_mismatches == 0;
+    return result;
+}
+
+}  // namespace nb

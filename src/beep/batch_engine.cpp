@@ -1,0 +1,73 @@
+#include "beep/batch_engine.h"
+
+#include "common/error.h"
+
+namespace nb {
+
+BatchEngine::BatchEngine(const Graph& graph, BatchParams params, Rng rng)
+    : graph_(graph), params_(params), rng_(rng) {
+    params_.channel.validate();
+    // The batch engine cannot exempt own-beep rounds from noise without
+    // tracking them per bit; the paper's default convention (own beeps are
+    // noisy too, footnote 2) is the only one supported here.
+    require(params_.channel.noise_on_own_beep,
+            "BatchEngine: only the paper convention (noise_on_own_beep) is supported");
+}
+
+Bitstring BatchEngine::superimpose(NodeId node, const std::vector<Bitstring>& schedules,
+                                   bool include_own) const {
+    check_schedules(schedules);
+    require(node < graph_.node_count(), "BatchEngine::superimpose: node out of range");
+    const std::size_t length = schedules.empty() ? 0 : schedules.front().size();
+    Bitstring heard(length);
+    if (include_own) {
+        heard |= schedules[node];
+    }
+    for (const auto u : graph_.neighbors(node)) {
+        heard |= schedules[u];
+    }
+    return heard;
+}
+
+Bitstring BatchEngine::hear(NodeId node, const std::vector<Bitstring>& schedules) const {
+    Bitstring heard = superimpose(node, schedules, /*include_own=*/true);
+    if (params_.channel.epsilon > 0.0) {
+        Rng noise = rng_.derive(0x6e6f6973u, node);
+        if (params_.dense_noise) {
+            heard.apply_noise_dense(noise, params_.channel.epsilon);
+        } else {
+            heard.apply_noise(noise, params_.channel.epsilon);
+        }
+    }
+    return heard;
+}
+
+std::vector<Bitstring> BatchEngine::hear_all(const std::vector<Bitstring>& schedules) const {
+    std::vector<Bitstring> result;
+    result.reserve(graph_.node_count());
+    for (NodeId v = 0; v < graph_.node_count(); ++v) {
+        result.push_back(hear(v, schedules));
+    }
+    return result;
+}
+
+std::size_t BatchEngine::total_beeps(const std::vector<Bitstring>& schedules) {
+    std::size_t total = 0;
+    for (const auto& schedule : schedules) {
+        total += schedule.count();
+    }
+    return total;
+}
+
+void BatchEngine::check_schedules(const std::vector<Bitstring>& schedules) const {
+    require(schedules.size() == graph_.node_count(),
+            "BatchEngine: one schedule per node required");
+    if (!schedules.empty()) {
+        const std::size_t length = schedules.front().size();
+        for (const auto& schedule : schedules) {
+            require(schedule.size() == length, "BatchEngine: schedule lengths must match");
+        }
+    }
+}
+
+}  // namespace nb

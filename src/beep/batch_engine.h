@@ -1,0 +1,65 @@
+// Word-parallel beeping-network engine for oblivious (fixed-schedule) phases.
+//
+// Algorithm 1's two phases are oblivious: once a node has chosen r_v and m_v,
+// its beep pattern for the whole phase is a fixed bitstring. The engine
+// computes each node's heard transcript as the word-parallel OR of its
+// neighbors' schedules and injects channel noise with geometric skip
+// sampling, which makes large (n, Delta) sweeps feasible.
+//
+// Semantics are identical to running the same schedules on RoundEngine
+// (property-tested): bit i of the result is what the node receives in round i
+// under the paper's conventions (own beeps count as received 1s, noise flips
+// each received bit independently with probability epsilon).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "beep/channel.h"
+#include "common/bitstring.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+struct BatchParams {
+    ChannelParams channel;
+
+    /// If true, noise consumes one Bernoulli draw per bit (matching
+    /// RoundEngine's draw pattern exactly, for cross-validation); if false,
+    /// the default geometric skip sampler is used (same distribution,
+    /// O(#flips) expected work).
+    bool dense_noise = false;
+};
+
+class BatchEngine {
+public:
+    /// The graph must outlive the engine. `rng` seeds per-node noise streams.
+    BatchEngine(const Graph& graph, BatchParams params, Rng rng);
+
+    /// Transcript heard by `node` when every node u beeps according to
+    /// schedules[u] (all schedules must share one length). Only this node's
+    /// transcript is computed; noise comes from the node's own derived
+    /// stream, so calls are independent of evaluation order.
+    Bitstring hear(NodeId node, const std::vector<Bitstring>& schedules) const;
+
+    /// Transcripts for all nodes (hear() applied to each node).
+    std::vector<Bitstring> hear_all(const std::vector<Bitstring>& schedules) const;
+
+    /// Superimposition OR_{u in N(v) (+ v)} schedules[u] with no noise: the
+    /// paper's x_v before flips. Exposed for decoder analysis in tests.
+    Bitstring superimpose(NodeId node, const std::vector<Bitstring>& schedules,
+                          bool include_own = true) const;
+
+    /// Total beeps (energy) of a schedule set.
+    static std::size_t total_beeps(const std::vector<Bitstring>& schedules);
+
+private:
+    void check_schedules(const std::vector<Bitstring>& schedules) const;
+
+    const Graph& graph_;
+    BatchParams params_;
+    Rng rng_;
+};
+
+}  // namespace nb

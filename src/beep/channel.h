@@ -1,0 +1,37 @@
+// Beeping-channel semantics shared by both engines.
+//
+// Model (paper Section 1.1/1.5): in each synchronous round every node either
+// beeps or listens. A node *receives* 1 iff it beeps itself or at least one
+// neighbor beeps, and 0 otherwise; in the noisy model the received bit is
+// then flipped independently with probability epsilon in (0, 1/2).
+//
+// The paper's analysis (footnote 2) lets even a beeping node's own 1 be
+// flipped by noise — a harmless pessimism that simplifies the proofs. We
+// reproduce that convention by default and expose the practical variant
+// (a node knows with certainty that it beeped) as an option.
+#pragma once
+
+#include "common/error.h"
+
+namespace nb {
+
+enum class BeepAction : unsigned char {
+    listen,
+    beep,
+};
+
+struct ChannelParams {
+    /// Noise probability epsilon in [0, 1/2); 0 gives the noiseless model.
+    double epsilon = 0.0;
+
+    /// Paper convention: a beeping node receives 1 and that bit is still
+    /// subject to noise. If false, a beeping node receives a clean 1.
+    bool noise_on_own_beep = true;
+
+    void validate() const {
+        require(epsilon >= 0.0 && epsilon < 0.5,
+                "ChannelParams: epsilon must be in [0, 1/2)");
+    }
+};
+
+}  // namespace nb

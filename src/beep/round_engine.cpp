@@ -1,0 +1,94 @@
+#include "beep/round_engine.h"
+
+#include "common/error.h"
+
+namespace nb {
+
+RoundEngine::RoundEngine(const Graph& graph, ChannelParams channel, Rng rng)
+    : graph_(graph), channel_(channel), rng_(rng) {
+    channel_.validate();
+}
+
+RunStats RoundEngine::run(std::vector<std::unique_ptr<BeepAlgorithm>>& nodes,
+                          std::size_t max_rounds) {
+    const std::size_t n = graph_.node_count();
+    require(nodes.size() == n, "RoundEngine::run: one algorithm per node required");
+    for (const auto& node : nodes) {
+        require(node != nullptr, "RoundEngine::run: null algorithm");
+    }
+
+    const NetworkInfo info{n, graph_.max_degree()};
+    // Private per-node randomness, independent of the channel-noise streams.
+    // Noise is drawn from one derived stream per node so that an oblivious
+    // schedule run here produces bit-identical noise to BatchEngine in dense
+    // mode (see BatchParams::dense_noise).
+    std::vector<Rng> node_rngs;
+    std::vector<Rng> noise_rngs;
+    node_rngs.reserve(n);
+    noise_rngs.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        node_rngs.push_back(rng_.derive(0x6e6f6465u, v));
+        noise_rngs.push_back(rng_.derive(0x6e6f6973u, v));
+    }
+
+    for (NodeId v = 0; v < n; ++v) {
+        nodes[v]->initialize(v, info, node_rngs[v]);
+    }
+
+    RunStats stats;
+    std::vector<BeepAction> actions(n, BeepAction::listen);
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+        bool someone_active = false;
+        for (NodeId v = 0; v < n; ++v) {
+            if (nodes[v]->finished()) {
+                actions[v] = BeepAction::listen;
+                continue;
+            }
+            someone_active = true;
+            actions[v] = nodes[v]->act(round, node_rngs[v]);
+            if (actions[v] == BeepAction::beep) {
+                ++stats.total_beeps;
+            }
+        }
+        if (!someone_active) {
+            stats.all_finished = true;
+            break;
+        }
+        ++stats.rounds;
+
+        for (NodeId v = 0; v < n; ++v) {
+            if (nodes[v]->finished()) {
+                continue;
+            }
+            bool received = actions[v] == BeepAction::beep;
+            if (!received) {
+                for (const auto u : graph_.neighbors(v)) {
+                    if (actions[u] == BeepAction::beep) {
+                        received = true;
+                        break;
+                    }
+                }
+            }
+            const bool beeped = actions[v] == BeepAction::beep;
+            if (channel_.epsilon > 0.0 && (!beeped || channel_.noise_on_own_beep) &&
+                noise_rngs[v].bernoulli(channel_.epsilon)) {
+                received = !received;
+            }
+            nodes[v]->receive(round, received, node_rngs[v]);
+        }
+    }
+
+    if (!stats.all_finished) {
+        bool all_done = true;
+        for (const auto& node : nodes) {
+            if (!node->finished()) {
+                all_done = false;
+                break;
+            }
+        }
+        stats.all_finished = all_done;
+    }
+    return stats;
+}
+
+}  // namespace nb

@@ -1,0 +1,67 @@
+// Round-at-a-time beeping-network engine for adaptive algorithms.
+//
+// Each node runs a BeepAlgorithm instance; per round the engine collects
+// every node's action, computes the OR-superimposition each listener hears,
+// applies channel noise, and feeds the received bit back to the node.
+// Suited to adaptive protocols (beep waves, MIS, leader election); oblivious
+// fixed-schedule phases should prefer BatchEngine, which is word-parallel.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "beep/channel.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+/// Static facts a node knows about the network before the protocol starts
+/// (standard beeping-model knowledge assumptions).
+struct NetworkInfo {
+    std::size_t node_count = 0;   ///< n (or a polynomial upper bound)
+    std::size_t max_degree = 0;   ///< Delta
+};
+
+/// Per-node protocol interface for the round engine.
+class BeepAlgorithm {
+public:
+    virtual ~BeepAlgorithm() = default;
+
+    /// Called once before round 0. `rng` is this node's private randomness.
+    virtual void initialize(NodeId self, const NetworkInfo& info, Rng& rng) = 0;
+
+    /// This round's action. `rng` is the same private stream.
+    virtual BeepAction act(std::size_t round, Rng& rng) = 0;
+
+    /// Delivery of the received bit (after noise) for `round`.
+    virtual void receive(std::size_t round, bool received, Rng& rng) = 0;
+
+    /// True once the node has terminated (it stays silent afterwards).
+    virtual bool finished() const = 0;
+};
+
+/// Execution statistics for energy/round accounting.
+struct RunStats {
+    std::size_t rounds = 0;       ///< rounds executed
+    std::size_t total_beeps = 0;  ///< sum over nodes of rounds spent beeping
+    bool all_finished = false;    ///< every node reported finished()
+};
+
+class RoundEngine {
+public:
+    /// The graph must outlive the engine.
+    RoundEngine(const Graph& graph, ChannelParams channel, Rng rng);
+
+    /// Run all node algorithms until every node is finished or `max_rounds`
+    /// is reached. `nodes` must contain exactly graph.node_count() entries.
+    RunStats run(std::vector<std::unique_ptr<BeepAlgorithm>>& nodes, std::size_t max_rounds);
+
+private:
+    const Graph& graph_;
+    ChannelParams channel_;
+    Rng rng_;
+};
+
+}  // namespace nb

@@ -1,0 +1,122 @@
+#include "codes/analysis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace nb {
+
+SuperimpositionTrial superimposition_trial(const BeepCode& code, std::size_t k,
+                                           std::size_t threshold, Rng& rng) {
+    // Draw k inputs for S plus one for x, all distinct (64-bit draws collide
+    // with negligible probability; regenerate defensively anyway).
+    std::unordered_set<std::uint64_t> chosen;
+    while (chosen.size() < k + 1) {
+        chosen.insert(rng.next_u64());
+    }
+    std::vector<std::uint64_t> inputs(chosen.begin(), chosen.end());
+    const std::uint64_t x = inputs.back();
+    inputs.pop_back();
+
+    Bitstring superimposition(code.length());
+    for (const auto r : inputs) {
+        superimposition |= code.codeword(r);
+    }
+    SuperimpositionTrial trial;
+    trial.intersection = code.codeword(x).intersect_count(superimposition);
+    trial.violates = trial.intersection >= threshold;
+    return trial;
+}
+
+SuperimpositionStats measure_superimposition(const BeepCode& code, std::size_t k,
+                                             std::size_t threshold, std::size_t trials,
+                                             Rng& rng) {
+    require(trials > 0, "measure_superimposition: trials must be positive");
+    SuperimpositionStats stats;
+    double intersection_sum = 0.0;
+    std::size_t violations = 0;
+    for (std::size_t i = 0; i < trials; ++i) {
+        const auto trial = superimposition_trial(code, k, threshold, rng);
+        intersection_sum += static_cast<double>(trial.intersection);
+        stats.max_intersection = std::max(stats.max_intersection, trial.intersection);
+        if (trial.violates) {
+            ++violations;
+        }
+    }
+    stats.violation_rate = static_cast<double>(violations) / static_cast<double>(trials);
+    stats.mean_intersection = intersection_sum / static_cast<double>(trials);
+    return stats;
+}
+
+std::size_t min_pairwise_distance(const DistanceCode& code,
+                                  std::span<const Bitstring> messages) {
+    require(messages.size() >= 2, "min_pairwise_distance: need at least two messages");
+    std::vector<Bitstring> codewords;
+    codewords.reserve(messages.size());
+    for (const auto& message : messages) {
+        codewords.push_back(code.encode(message));
+    }
+    std::size_t minimum = code.length() + 1;
+    for (std::size_t i = 0; i < codewords.size(); ++i) {
+        for (std::size_t j = i + 1; j < codewords.size(); ++j) {
+            minimum = std::min(minimum, codewords[i].hamming_distance(codewords[j]));
+        }
+    }
+    return minimum;
+}
+
+double fraction_below_distance(const DistanceCode& code, std::span<const Bitstring> messages,
+                               std::size_t floor_distance) {
+    require(messages.size() >= 2, "fraction_below_distance: need at least two messages");
+    std::vector<Bitstring> codewords;
+    codewords.reserve(messages.size());
+    for (const auto& message : messages) {
+        codewords.push_back(code.encode(message));
+    }
+    std::size_t below = 0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < codewords.size(); ++i) {
+        for (std::size_t j = i + 1; j < codewords.size(); ++j) {
+            ++pairs;
+            if (codewords[i].hamming_distance(codewords[j]) < floor_distance) {
+                ++below;
+            }
+        }
+    }
+    return static_cast<double>(below) / static_cast<double>(pairs);
+}
+
+std::vector<Bitstring> all_messages(std::size_t bits) {
+    require(bits <= 24, "all_messages: message space too large (max 24 bits)");
+    std::vector<Bitstring> result;
+    result.reserve(std::size_t{1} << bits);
+    for (std::uint64_t value = 0; value < (std::uint64_t{1} << bits); ++value) {
+        Bitstring message(bits);
+        for (std::size_t bit = 0; bit < bits; ++bit) {
+            if ((value >> bit) & 1u) {
+                message.set(bit);
+            }
+        }
+        result.push_back(std::move(message));
+    }
+    return result;
+}
+
+std::vector<Bitstring> random_messages(std::size_t bits, std::size_t count, Rng& rng) {
+    std::vector<Bitstring> result;
+    std::unordered_set<std::uint64_t> seen;
+    result.reserve(count);
+    std::size_t guard = 0;
+    while (result.size() < count) {
+        Bitstring message = Bitstring::random(rng, bits);
+        if (seen.insert(message.hash()).second) {
+            result.push_back(std::move(message));
+        }
+        require(++guard < 100 * count + 1000,
+                "random_messages: message space too small for the requested count");
+    }
+    return result;
+}
+
+}  // namespace nb

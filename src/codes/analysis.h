@@ -1,0 +1,57 @@
+// Empirical property checks for the code constructions.
+//
+// These functions measure exactly the quantities bounded in the paper's
+// proofs (Theorem 4, Lemma 6), at sizes where the checks are affordable;
+// tests and bench E1/E2 are built on them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codes/beep_code.h"
+#include "codes/distance_code.h"
+#include "common/rng.h"
+
+namespace nb {
+
+/// One trial of the Definition 3 event: draw `k` random distinct inputs S
+/// plus one extra input x outside S, and report whether the superimposition
+/// of S's codewords `threshold`-intersects C(x). Theorem 4 bounds the
+/// probability of this event by ~2^-4a for threshold = 5*delta^2*b/k.
+struct SuperimpositionTrial {
+    std::size_t intersection = 0;  ///< 1(C(x) AND OR(S))
+    bool violates = false;         ///< intersection >= threshold
+};
+
+SuperimpositionTrial superimposition_trial(const BeepCode& code, std::size_t k,
+                                           std::size_t threshold, Rng& rng);
+
+/// Fraction of `trials` independent Definition 3 events that violate, plus
+/// the mean intersection size.
+struct SuperimpositionStats {
+    double violation_rate = 0.0;
+    double mean_intersection = 0.0;
+    std::size_t max_intersection = 0;
+};
+
+SuperimpositionStats measure_superimposition(const BeepCode& code, std::size_t k,
+                                             std::size_t threshold, std::size_t trials,
+                                             Rng& rng);
+
+/// Minimum pairwise Hamming distance among the codewords of the given
+/// messages (exact over the supplied set).
+std::size_t min_pairwise_distance(const DistanceCode& code,
+                                  std::span<const Bitstring> messages);
+
+/// Fraction of pairs with distance below `floor_distance`.
+double fraction_below_distance(const DistanceCode& code, std::span<const Bitstring> messages,
+                               std::size_t floor_distance);
+
+/// All 2^bits messages of the given width (for exhaustive small-space checks).
+std::vector<Bitstring> all_messages(std::size_t bits);
+
+/// `count` distinct random messages of the given width.
+std::vector<Bitstring> random_messages(std::size_t bits, std::size_t count, Rng& rng);
+
+}  // namespace nb

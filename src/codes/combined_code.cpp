@@ -1,0 +1,24 @@
+#include "codes/combined_code.h"
+
+#include "common/error.h"
+
+namespace nb {
+
+CombinedCode::CombinedCode(BeepCode beep, DistanceCode distance)
+    : beep_(beep), distance_(distance) {
+    require(beep_.weight() == distance_.length(),
+            "CombinedCode: beep-code weight must equal distance-code length");
+}
+
+Bitstring CombinedCode::encode(std::uint64_t r, const Bitstring& message) const {
+    const auto positions = beep_.one_positions(r);
+    const Bitstring payload = distance_.encode(message);
+    return Bitstring::scatter(beep_.length(), positions, payload);
+}
+
+Bitstring CombinedCode::extract(std::uint64_t r, const Bitstring& heard) const {
+    require(heard.size() == beep_.length(), "CombinedCode::extract: wrong transcript length");
+    return heard.gather(beep_.one_positions(r));
+}
+
+}  // namespace nb

@@ -1,0 +1,47 @@
+// The combined code CD (paper Notation 7, Figure 1).
+//
+// CD(r, m) writes the distance codeword D(m) into the positions where the
+// beep codeword C(r) is 1, leaving all other positions 0:
+//
+//     CD(r, m)_j = D(m)_i   if j is the position of the i-th 1 of C(r),
+//                  0        otherwise.
+//
+// Phase 2 of Algorithm 1 transmits CD(r_v, m_v); a neighbor that learned r_v
+// in phase 1 reads back the subsequence at C(r_v)'s 1-positions and decodes
+// it with the distance code.
+#pragma once
+
+#include <cstdint>
+
+#include "codes/beep_code.h"
+#include "codes/distance_code.h"
+#include "common/bitstring.h"
+
+namespace nb {
+
+class CombinedCode {
+public:
+    /// Compose a beep code and a distance code. Precondition: the beep-code
+    /// weight equals the distance-code length (each codeword of C must have
+    /// exactly one slot per bit of D(m)).
+    CombinedCode(BeepCode beep, DistanceCode distance);
+
+    /// CD(r, m): D(m) scattered into the 1-positions of C(r).
+    Bitstring encode(std::uint64_t r, const Bitstring& message) const;
+
+    /// The subsequence of `heard` at the 1-positions of C(r): the string
+    /// y_{v,w} (Section 4) from which the message is decoded.
+    Bitstring extract(std::uint64_t r, const Bitstring& heard) const;
+
+    const BeepCode& beep() const noexcept { return beep_; }
+    const DistanceCode& distance() const noexcept { return distance_; }
+
+    /// Total codeword length (= beep-code length).
+    std::size_t length() const noexcept { return beep_.length(); }
+
+private:
+    BeepCode beep_;
+    DistanceCode distance_;
+};
+
+}  // namespace nb

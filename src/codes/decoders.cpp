@@ -1,0 +1,37 @@
+#include "codes/decoders.h"
+
+#include "common/error.h"
+
+namespace nb {
+
+Phase1Decoder::Phase1Decoder(const BeepCode& code, double epsilon) : code_(&code) {
+    require(epsilon >= 0.0 && epsilon < 0.5, "Phase1Decoder: epsilon must be in [0, 1/2)");
+    threshold_ = (2.0 * epsilon + 1.0) / 4.0 * static_cast<double>(code.weight());
+}
+
+std::size_t Phase1Decoder::missing_ones(const Bitstring& heard, std::uint64_t r) const {
+    require(heard.size() == code_->length(), "Phase1Decoder: wrong transcript length");
+    return code_->codeword(r).and_not_count(heard);
+}
+
+bool Phase1Decoder::accepts(const Bitstring& heard, std::uint64_t r) const {
+    return static_cast<double>(missing_ones(heard, r)) < threshold_;
+}
+
+bool Phase1Decoder::accepts_codeword(const Bitstring& heard, const Bitstring& codeword) const {
+    require(codeword.size() == code_->length(), "Phase1Decoder: wrong codeword length");
+    return static_cast<double>(codeword.and_not_count(heard)) < threshold_;
+}
+
+std::vector<std::uint64_t> Phase1Decoder::decode(
+    const Bitstring& heard, std::span<const std::uint64_t> dictionary) const {
+    std::vector<std::uint64_t> accepted;
+    for (const auto r : dictionary) {
+        if (accepts(heard, r)) {
+            accepted.push_back(r);
+        }
+    }
+    return accepted;
+}
+
+}  // namespace nb

@@ -1,0 +1,57 @@
+// Decoders for the two phases of Algorithm 1.
+//
+// Phase 1 (Lemma 9): from the noisy superimposition transcript x~_v, recover
+// the set R_v of beep-code inputs used in v's inclusive neighborhood. The
+// paper's rule: accept r iff C(r) does NOT ((2*eps+1)/4 * weight)-intersect
+// the complement of x~_v — i.e. fewer than that many of C(r)'s 1s are
+// missing from the transcript.
+//
+// Phase 2 (Lemma 10): nearest-codeword distance decoding of the extracted
+// subsequence y~_{v,w}; provided by DistanceCode::decode.
+//
+// The paper's decoder ranges over all 2^a inputs (local computation is free
+// in beeping models); tractably, decode() tests the identical per-candidate
+// rule over a caller-supplied dictionary (all in-use inputs plus decoys; see
+// DESIGN.md section 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codes/beep_code.h"
+#include "common/bitstring.h"
+
+namespace nb {
+
+class Phase1Decoder {
+public:
+    /// `epsilon` is the channel-noise constant used in the acceptance
+    /// threshold (2*eps+1)/4 * weight. With epsilon = 0 the threshold is
+    /// weight/4, which also serves the noiseless model.
+    Phase1Decoder(const BeepCode& code, double epsilon);
+
+    /// Number of missing 1s strictly below which a candidate is accepted.
+    double threshold() const noexcept { return threshold_; }
+
+    /// Missing-ones count 1(C(r) AND NOT heard) for a single candidate.
+    std::size_t missing_ones(const Bitstring& heard, std::uint64_t r) const;
+
+    /// Lemma 9 acceptance test for a single candidate input.
+    bool accepts(const Bitstring& heard, std::uint64_t r) const;
+
+    /// Acceptance test given an already-generated codeword (avoids
+    /// regenerating C(r) when the caller holds it, e.g. the transport's
+    /// phase-1 schedules).
+    bool accepts_codeword(const Bitstring& heard, const Bitstring& codeword) const;
+
+    /// All accepted inputs among `dictionary` (the decoded set R~_v).
+    std::vector<std::uint64_t> decode(const Bitstring& heard,
+                                      std::span<const std::uint64_t> dictionary) const;
+
+private:
+    const BeepCode* code_;
+    double threshold_;
+};
+
+}  // namespace nb

@@ -1,0 +1,79 @@
+#include "codes/distance_code.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "congest/algorithm.h"
+
+namespace nb {
+
+DistanceCode::DistanceCode(std::size_t message_bits, std::size_t length, std::uint64_t seed)
+    : message_bits_(message_bits), length_(length), seed_(seed) {
+    require(message_bits > 0, "DistanceCode: message_bits must be positive");
+    require(length > 0, "DistanceCode: length must be positive");
+}
+
+DistanceCode DistanceCode::lemma6(std::size_t message_bits, double delta, std::uint64_t seed) {
+    require(delta > 0.0 && delta < 0.5, "DistanceCode::lemma6: delta must be in (0, 1/2)");
+    const double c_delta = 12.0 / ((1.0 - 2.0 * delta) * (1.0 - 2.0 * delta));
+    const auto length = static_cast<std::size_t>(std::ceil(c_delta * static_cast<double>(message_bits)));
+    return DistanceCode(message_bits, length, seed);
+}
+
+Bitstring DistanceCode::encode(const Bitstring& message) const {
+    require(message.size() == message_bits_,
+            "DistanceCode::encode: message has the wrong length");
+    Rng generator = Rng(seed_).derive(0x64697374u, message.hash());
+    return Bitstring::random(generator, length_);
+}
+
+std::optional<DistanceCode::Decoded> DistanceCode::decode(
+    const Bitstring& received, std::span<const Bitstring> candidates) const {
+    require(received.size() == length_, "DistanceCode::decode: received has the wrong length");
+    std::optional<Decoded> best;
+    for (const auto& candidate : candidates) {
+        const std::size_t distance = encode(candidate).hamming_distance(received);
+        if (!best.has_value()) {
+            best = Decoded{candidate, distance, distance, true};
+            // runner_up is undefined until a second candidate arrives; track
+            // it as the best distance among non-winning candidates below.
+            best->runner_up = length_ + 1;
+            continue;
+        }
+        if (distance < best->distance ||
+            (distance == best->distance && message_less(candidate, best->message))) {
+            const bool tied = distance == best->distance;
+            best->runner_up = best->distance;
+            best->message = candidate;
+            best->distance = distance;
+            best->unique = !tied;
+        } else {
+            if (distance == best->distance) {
+                best->unique = false;
+            }
+            best->runner_up = std::min(best->runner_up, distance);
+        }
+    }
+    return best;
+}
+
+DistanceCode::Decoded DistanceCode::decode_exhaustive(const Bitstring& received) const {
+    require(message_bits_ <= 24,
+            "DistanceCode::decode_exhaustive: message space too large (max 24 bits)");
+    std::vector<Bitstring> all;
+    all.reserve(std::size_t{1} << message_bits_);
+    for (std::uint64_t value = 0; value < (std::uint64_t{1} << message_bits_); ++value) {
+        Bitstring message(message_bits_);
+        for (std::size_t bit = 0; bit < message_bits_; ++bit) {
+            if ((value >> bit) & 1u) {
+                message.set(bit);
+            }
+        }
+        all.push_back(std::move(message));
+    }
+    auto result = decode(received, all);
+    ensure(result.has_value(), "DistanceCode::decode_exhaustive: empty enumeration");
+    return *result;
+}
+
+}  // namespace nb

@@ -1,0 +1,106 @@
+#include "codes/kautz_singleton.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nb {
+
+std::size_t next_prime(std::size_t value) {
+    require(value >= 2, "next_prime: value must be >= 2");
+    auto is_prime = [](std::size_t candidate) {
+        if (candidate < 4) {
+            return candidate >= 2;
+        }
+        if (candidate % 2 == 0) {
+            return false;
+        }
+        for (std::size_t d = 3; d * d <= candidate; d += 2) {
+            if (candidate % d == 0) {
+                return false;
+            }
+        }
+        return true;
+    };
+    std::size_t candidate = value;
+    while (!is_prime(candidate)) {
+        ++candidate;
+    }
+    return candidate;
+}
+
+KautzSingletonCode::KautzSingletonCode(std::size_t message_bits, std::size_t k)
+    : message_bits_(message_bits), k_(k) {
+    require(message_bits >= 1 && message_bits <= 64,
+            "KautzSingletonCode: message_bits must be in [1, 64]");
+    require(k >= 1, "KautzSingletonCode: k must be >= 1");
+    // Find the smallest prime q with enough capacity (q^t >= 2^a) and
+    // k-disjunctness (q > k*(t-1)). t shrinks as q grows, so iterate.
+    std::size_t q = next_prime(std::max<std::size_t>(2, k + 1));
+    while (true) {
+        // Symbols needed so that q^t covers the message space
+        // (q^t >= 2^message_bits), computed with saturating multiplication.
+        std::size_t t = 1;
+        std::uint64_t capacity = 1;
+        bool saturated = false;
+        while (true) {
+            if (capacity > UINT64_MAX / q) {
+                saturated = true;  // capacity >= 2^64 >= 2^message_bits
+            } else {
+                capacity *= q;
+            }
+            const bool enough =
+                saturated || (message_bits_ < 64 && capacity >= (std::uint64_t{1} << message_bits_));
+            if (enough) {
+                break;
+            }
+            ++t;
+        }
+        if (t == 1 || q > k_ * (t - 1)) {
+            q_ = q;
+            t_ = t;
+            break;
+        }
+        q = next_prime(q + 1);
+    }
+    ensure(q_ >= 2, "KautzSingletonCode: construction failed");
+}
+
+Bitstring KautzSingletonCode::codeword(std::uint64_t r) const {
+    // Message digits base q are the polynomial coefficients.
+    std::vector<std::size_t> coefficients(t_, 0);
+    std::uint64_t rest = r;
+    for (std::size_t i = 0; i < t_; ++i) {
+        coefficients[i] = static_cast<std::size_t>(rest % q_);
+        rest /= q_;
+    }
+    Bitstring word(length());
+    for (std::size_t x = 0; x < q_; ++x) {
+        // Horner evaluation of p(x) mod q.
+        std::size_t value = 0;
+        for (std::size_t i = t_; i-- > 0;) {
+            value = (value * x + coefficients[i]) % q_;
+        }
+        word.set(x * q_ + value);
+    }
+    return word;
+}
+
+bool KautzSingletonCode::accepts(const Bitstring& heard, std::uint64_t r,
+                                 std::size_t tolerated_missing) const {
+    require(heard.size() == length(), "KautzSingletonCode::accepts: wrong transcript length");
+    return codeword(r).and_not_count(heard) <= tolerated_missing;
+}
+
+std::vector<std::uint64_t> KautzSingletonCode::decode(const Bitstring& heard,
+                                                      std::span<const std::uint64_t> dictionary,
+                                                      std::size_t tolerated_missing) const {
+    std::vector<std::uint64_t> accepted;
+    for (const auto r : dictionary) {
+        if (accepts(heard, r, tolerated_missing)) {
+            accepted.push_back(r);
+        }
+    }
+    return accepted;
+}
+
+}  // namespace nb

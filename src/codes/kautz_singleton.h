@@ -1,0 +1,63 @@
+// Kautz–Singleton superimposed codes [23] — the classic construction the
+// paper discusses and rejects in Section 1.4.
+//
+// A Reed–Solomon code over GF(q) (q prime) of degree < t is concatenated
+// with the unary/indicator inner code: each of the q output symbols becomes
+// a q-bit block with a single 1. Codewords have length q^2 and weight q.
+// Choosing q > k*(t-1) makes the code k-disjunct: any codeword outside a
+// union of k codewords retains a 1 outside the union, so noiseless cover
+// decoding is exact.
+//
+// For a-bit messages this yields length O(k^2 * a^2 / log^2 k) — in the
+// simulation setting (a = Theta(log n), k = Delta+1) that is the
+// Theta(Delta^2 log n)-per-round overhead the paper improves on; bench E12
+// reproduces the comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitstring.h"
+
+namespace nb {
+
+class KautzSingletonCode {
+public:
+    /// Code for `message_bits`-bit inputs tolerating superimpositions of up
+    /// to `k` codewords (k-disjunct).
+    KautzSingletonCode(std::size_t message_bits, std::size_t k);
+
+    /// Codeword of input r (r < 2^message_bits; higher bits ignored for
+    /// message_bits = 64).
+    Bitstring codeword(std::uint64_t r) const;
+
+    /// Exact noiseless cover decode: accept r iff every 1 of codeword(r) is
+    /// present in `heard`. With `tolerated_missing` > 0, up to that many 1s
+    /// may be absent (simple noise slack; the construction has no designed
+    /// noise margin, which is part of why the paper replaces it).
+    bool accepts(const Bitstring& heard, std::uint64_t r,
+                 std::size_t tolerated_missing = 0) const;
+
+    /// All accepted inputs among `dictionary`.
+    std::vector<std::uint64_t> decode(const Bitstring& heard,
+                                      std::span<const std::uint64_t> dictionary,
+                                      std::size_t tolerated_missing = 0) const;
+
+    std::size_t q() const noexcept { return q_; }
+    std::size_t symbols() const noexcept { return t_; }
+    std::size_t length() const noexcept { return q_ * q_; }
+    std::size_t weight() const noexcept { return q_; }
+    std::size_t message_bits() const noexcept { return message_bits_; }
+
+private:
+    std::size_t message_bits_;
+    std::size_t k_;
+    std::size_t q_ = 0;  ///< field size (prime)
+    std::size_t t_ = 0;  ///< message symbols (polynomial coefficients)
+};
+
+/// Smallest prime >= value (value >= 2).
+std::size_t next_prime(std::size_t value);
+
+}  // namespace nb

@@ -1,0 +1,71 @@
+// Bit-level packing helpers for composing fixed-width message fields.
+//
+// CONGEST messages are O(log n)-bit strings; algorithms compose them from
+// fields (type tags, node ids, sampled values). BitWriter/BitReader provide
+// checked sequential access so encode/decode stay in sync by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitstring.h"
+#include "common/error.h"
+
+namespace nb {
+
+/// Sequentially writes little-endian fields into a fixed-size Bitstring.
+class BitWriter {
+public:
+    explicit BitWriter(std::size_t total_bits) : bits_(total_bits) {}
+
+    /// Append the low `width` bits of `value`. Precondition: value fits and
+    /// capacity remains. Width up to 64.
+    void write(std::uint64_t value, std::size_t width) {
+        require(width <= 64, "BitWriter::write: width must be <= 64");
+        require(width == 64 || value < (std::uint64_t{1} << width),
+                "BitWriter::write: value does not fit in width");
+        require(cursor_ + width <= bits_.size(), "BitWriter::write: capacity exceeded");
+        for (std::size_t i = 0; i < width; ++i) {
+            if ((value >> i) & 1u) {
+                bits_.set(cursor_ + i);
+            }
+        }
+        cursor_ += width;
+    }
+
+    /// The written bitstring (unwritten tail bits are 0).
+    const Bitstring& bits() const noexcept { return bits_; }
+
+    std::size_t written() const noexcept { return cursor_; }
+
+private:
+    Bitstring bits_;
+    std::size_t cursor_ = 0;
+};
+
+/// Sequentially reads fields written by BitWriter.
+class BitReader {
+public:
+    explicit BitReader(const Bitstring& bits) : bits_(bits) {}
+
+    /// Read the next `width` bits as an unsigned value.
+    std::uint64_t read(std::size_t width) {
+        require(width <= 64, "BitReader::read: width must be <= 64");
+        require(cursor_ + width <= bits_.size(), "BitReader::read: out of data");
+        std::uint64_t value = 0;
+        for (std::size_t i = 0; i < width; ++i) {
+            if (bits_.test(cursor_ + i)) {
+                value |= std::uint64_t{1} << i;
+            }
+        }
+        cursor_ += width;
+        return value;
+    }
+
+    std::size_t remaining() const noexcept { return bits_.size() - cursor_; }
+
+private:
+    const Bitstring& bits_;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace nb

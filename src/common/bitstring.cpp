@@ -1,0 +1,243 @@
+#include "common/bitstring.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace nb {
+
+namespace {
+
+constexpr std::size_t bits_per_word = 64;
+
+std::size_t word_count_for(std::size_t bits) noexcept {
+    return (bits + bits_per_word - 1) / bits_per_word;
+}
+
+}  // namespace
+
+Bitstring::Bitstring(std::size_t size) : words_(word_count_for(size), 0), size_(size) {}
+
+Bitstring Bitstring::from_string(const std::string& bits) {
+    Bitstring result(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const char c = bits[i];
+        require(c == '0' || c == '1', "Bitstring::from_string: characters must be 0 or 1");
+        if (c == '1') {
+            result.set(i);
+        }
+    }
+    return result;
+}
+
+Bitstring Bitstring::random(Rng& rng, std::size_t size) {
+    Bitstring result(size);
+    for (auto& word : result.words_) {
+        word = rng.next_u64();
+    }
+    result.clear_padding();
+    return result;
+}
+
+Bitstring Bitstring::random_with_weight(Rng& rng, std::size_t size, std::size_t weight) {
+    require(weight <= size, "Bitstring::random_with_weight: weight must be <= size");
+    Bitstring result(size);
+    for (const auto position : rng.distinct_positions(size, weight)) {
+        result.set(position);
+    }
+    return result;
+}
+
+bool Bitstring::test(std::size_t index) const {
+    require(index < size_, "Bitstring::test: index out of range");
+    return (words_[index / bits_per_word] >> (index % bits_per_word)) & 1u;
+}
+
+void Bitstring::set(std::size_t index, bool value) {
+    require(index < size_, "Bitstring::set: index out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (index % bits_per_word);
+    if (value) {
+        words_[index / bits_per_word] |= mask;
+    } else {
+        words_[index / bits_per_word] &= ~mask;
+    }
+}
+
+void Bitstring::flip(std::size_t index) {
+    require(index < size_, "Bitstring::flip: index out of range");
+    words_[index / bits_per_word] ^= std::uint64_t{1} << (index % bits_per_word);
+}
+
+std::size_t Bitstring::count() const noexcept {
+    std::size_t total = 0;
+    for (const auto word : words_) {
+        total += static_cast<std::size_t>(std::popcount(word));
+    }
+    return total;
+}
+
+std::size_t Bitstring::intersect_count(const Bitstring& other) const {
+    check_same_size(other, "intersect_count");
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        total += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+    }
+    return total;
+}
+
+std::size_t Bitstring::and_not_count(const Bitstring& other) const {
+    check_same_size(other, "and_not_count");
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        total += static_cast<std::size_t>(std::popcount(words_[w] & ~other.words_[w]));
+    }
+    return total;
+}
+
+std::size_t Bitstring::hamming_distance(const Bitstring& other) const {
+    check_same_size(other, "hamming_distance");
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        total += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
+    }
+    return total;
+}
+
+Bitstring& Bitstring::operator|=(const Bitstring& other) {
+    check_same_size(other, "operator|=");
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        words_[w] |= other.words_[w];
+    }
+    return *this;
+}
+
+Bitstring& Bitstring::operator&=(const Bitstring& other) {
+    check_same_size(other, "operator&=");
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        words_[w] &= other.words_[w];
+    }
+    return *this;
+}
+
+Bitstring& Bitstring::operator^=(const Bitstring& other) {
+    check_same_size(other, "operator^=");
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        words_[w] ^= other.words_[w];
+    }
+    return *this;
+}
+
+Bitstring Bitstring::operator~() const {
+    Bitstring result = *this;
+    for (auto& word : result.words_) {
+        word = ~word;
+    }
+    result.clear_padding();
+    return result;
+}
+
+bool Bitstring::operator==(const Bitstring& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+std::vector<std::size_t> Bitstring::one_positions() const {
+    std::vector<std::size_t> positions;
+    positions.reserve(count());
+    for_each_one([&positions](std::size_t index) { positions.push_back(index); });
+    return positions;
+}
+
+Bitstring Bitstring::gather(const std::vector<std::size_t>& positions) const {
+    Bitstring result(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        require(positions[i] < size_, "Bitstring::gather: position out of range");
+        if (test(positions[i])) {
+            result.set(i);
+        }
+    }
+    return result;
+}
+
+Bitstring Bitstring::scatter(std::size_t size, const std::vector<std::size_t>& positions,
+                             const Bitstring& values) {
+    require(values.size() == positions.size(),
+            "Bitstring::scatter: values and positions must have matching length");
+    Bitstring result(size);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        require(positions[i] < size, "Bitstring::scatter: position out of range");
+        if (values.test(i)) {
+            result.set(positions[i]);
+        }
+    }
+    return result;
+}
+
+void Bitstring::apply_noise(Rng& rng, double epsilon) {
+    require(epsilon >= 0.0 && epsilon < 1.0, "Bitstring::apply_noise: epsilon must be in [0, 1)");
+    if (epsilon == 0.0 || size_ == 0) {
+        return;
+    }
+    // Walk the geometric gaps between flipped positions; this is an exact
+    // sample of the i.i.d. Bernoulli(epsilon) flip process in O(#flips).
+    std::size_t position = 0;
+    while (true) {
+        const std::uint64_t skip = rng.geometric_skip(epsilon);
+        if (skip >= size_ || position + skip >= size_) {
+            break;
+        }
+        position += static_cast<std::size_t>(skip);
+        flip(position);
+        ++position;
+        if (position >= size_) {
+            break;
+        }
+    }
+}
+
+void Bitstring::apply_noise_dense(Rng& rng, double epsilon) {
+    require(epsilon >= 0.0 && epsilon < 1.0,
+            "Bitstring::apply_noise_dense: epsilon must be in [0, 1)");
+    if (epsilon == 0.0) {
+        return;
+    }
+    for (std::size_t i = 0; i < size_; ++i) {
+        if (rng.bernoulli(epsilon)) {
+            flip(i);
+        }
+    }
+}
+
+std::string Bitstring::to_string() const {
+    std::string text(size_, '0');
+    for_each_one([&text](std::size_t index) { text[index] = '1'; });
+    return text;
+}
+
+std::uint64_t Bitstring::hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t value) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (value >> (8 * byte)) & 0xffu;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(static_cast<std::uint64_t>(size_));
+    for (const auto word : words_) {
+        mix(word);
+    }
+    return h;
+}
+
+void Bitstring::check_same_size(const Bitstring& other, const char* operation) const {
+    require(size_ == other.size_,
+            std::string("Bitstring::") + operation + ": size mismatch");
+}
+
+void Bitstring::clear_padding() noexcept {
+    if (size_ % bits_per_word != 0 && !words_.empty()) {
+        const std::uint64_t mask = (std::uint64_t{1} << (size_ % bits_per_word)) - 1;
+        words_.back() &= mask;
+    }
+}
+
+}  // namespace nb

@@ -1,0 +1,39 @@
+// Error-handling helpers shared across the library.
+//
+// Following the C++ Core Guidelines (I.5/I.7, E.x) we express preconditions
+// and invariants as checked function calls that throw on violation, rather
+// than macros. All exceptions derive from std::exception.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nb {
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::invalid_argument {
+public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class invariant_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+/// Check a precondition; throws precondition_error with `what` on failure.
+inline void require(bool condition, const std::string& what) {
+    if (!condition) {
+        throw precondition_error(what);
+    }
+}
+
+/// Check an internal invariant; throws invariant_error with `what` on failure.
+inline void ensure(bool condition, const std::string& what) {
+    if (!condition) {
+        throw invariant_error(what);
+    }
+}
+
+}  // namespace nb

@@ -1,0 +1,73 @@
+#include "common/math_util.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace nb {
+
+std::size_t ceil_log2(std::uint64_t value) {
+    require(value >= 1, "ceil_log2: value must be >= 1");
+    if (value == 1) {
+        return 0;
+    }
+    return static_cast<std::size_t>(64 - std::countl_zero(value - 1));
+}
+
+std::size_t floor_log2(std::uint64_t value) {
+    require(value >= 1, "floor_log2: value must be >= 1");
+    return static_cast<std::size_t>(63 - std::countl_zero(value));
+}
+
+std::size_t ceil_div(std::size_t a, std::size_t b) {
+    require(b > 0, "ceil_div: divisor must be positive");
+    return (a + b - 1) / b;
+}
+
+std::size_t log_star(double value) {
+    std::size_t iterations = 0;
+    while (value > 1.0) {
+        value = std::log2(value);
+        ++iterations;
+        if (iterations > 64) {
+            break;  // unreachable for finite doubles; defensive bound
+        }
+    }
+    return iterations;
+}
+
+std::size_t round_up_to_multiple(std::size_t value, std::size_t factor) {
+    require(factor > 0, "round_up_to_multiple: factor must be positive");
+    return ceil_div(value, factor) * factor;
+}
+
+void Summary::add(double value) noexcept {
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double Summary::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double Summary::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double Summary::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double Summary::stddev() const noexcept {
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+}  // namespace nb

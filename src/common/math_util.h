@@ -1,0 +1,46 @@
+// Small numeric helpers used across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nb {
+
+/// Ceiling of log2(value) for value >= 1; ceil_log2(1) == 0.
+std::size_t ceil_log2(std::uint64_t value);
+
+/// Floor of log2(value) for value >= 1.
+std::size_t floor_log2(std::uint64_t value);
+
+/// Ceiling division a / b for b > 0.
+std::size_t ceil_div(std::size_t a, std::size_t b);
+
+/// The iterated logarithm log*(value): number of times log2 must be applied
+/// before the result is <= 1. Used in prior-work cost models.
+std::size_t log_star(double value);
+
+/// Round `value` up to the nearest multiple of `factor` (factor > 0).
+std::size_t round_up_to_multiple(std::size_t value, std::size_t factor);
+
+/// Streaming mean / min / max / stddev accumulator for experiment reporting.
+class Summary {
+public:
+    void add(double value) noexcept;
+
+    std::size_t count() const noexcept { return count_; }
+    double mean() const noexcept;
+    double min() const noexcept;
+    double max() const noexcept;
+    /// Sample standard deviation (Welford); 0 for fewer than 2 samples.
+    double stddev() const noexcept;
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace nb

@@ -1,0 +1,60 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace nb {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    require(!headers_.empty(), "Table: at least one column required");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    require(cells.size() <= headers_.size(), "Table::add_row: more cells than columns");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+    std::ostringstream stream;
+    stream << std::fixed << std::setprecision(precision) << value;
+    return stream.str();
+}
+
+std::string Table::num(std::size_t value) { return std::to_string(value); }
+
+void Table::print(std::ostream& out, const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    out << "== " << title << " ==\n";
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << "| " << std::left << std::setw(static_cast<int>(widths[c])) << cells[c] << ' ';
+        }
+        out << "|\n";
+    };
+    print_row(headers_);
+    std::size_t total = 1;
+    for (const auto width : widths) {
+        total += width + 3;
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+    out << '\n';
+}
+
+}  // namespace nb

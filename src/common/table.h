@@ -1,0 +1,36 @@
+// Fixed-width text table printer for experiment output.
+//
+// Every bench binary prints its results through Table so that the
+// regenerated "paper tables" share one consistent, diffable format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nb {
+
+class Table {
+public:
+    /// Create a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append one row; cells beyond the header count are rejected.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format a double with `precision` decimals.
+    static std::string num(double value, int precision = 2);
+
+    /// Convenience: format an integer.
+    static std::string num(std::size_t value);
+
+    /// Render with aligned columns to `out`, including a title line.
+    void print(std::ostream& out, const std::string& title) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nb

@@ -1,0 +1,27 @@
+#include "congest/algorithm.h"
+
+#include <algorithm>
+
+namespace nb {
+
+bool message_less(const Bitstring& lhs, const Bitstring& rhs) {
+    if (lhs.size() != rhs.size()) {
+        return lhs.size() < rhs.size();
+    }
+    const auto& lw = lhs.words();
+    const auto& rw = rhs.words();
+    // Compare from the most significant word down for a total order; the
+    // specific order does not matter as long as it is consistent.
+    for (std::size_t i = lw.size(); i-- > 0;) {
+        if (lw[i] != rw[i]) {
+            return lw[i] < rw[i];
+        }
+    }
+    return false;
+}
+
+void sort_messages(std::vector<Bitstring>& messages) {
+    std::sort(messages.begin(), messages.end(), message_less);
+}
+
+}  // namespace nb

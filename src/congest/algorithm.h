@@ -1,0 +1,87 @@
+// Algorithm interfaces for the message-passing models.
+//
+// The same algorithm object runs unchanged on the native engines (ground
+// truth) and on the beep-simulation engines (the paper's contribution);
+// differential tests compare the two executions' outputs.
+//
+// Broadcast CONGEST (paper Section 1.1): per round, each node may broadcast
+// one B-bit message heard by all neighbors. Deliveries carry no sender
+// identification — a node receives the *multiset* of neighbor messages,
+// sorted canonically. (This matches what the beep simulation can provide,
+// see paper footnote 1, and suffices for the algorithms in the paper:
+// messages carry ids when needed.)
+//
+// CONGEST: per round each node may send a distinct message per neighbor;
+// deliveries identify the sender.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+/// What nodes know a priori in the message-passing models.
+struct CongestInfo {
+    std::size_t node_count = 0;    ///< n
+    std::size_t max_degree = 0;    ///< Delta
+    std::size_t message_bits = 0;  ///< per-message budget B = gamma*ceil(log2 n)
+    std::size_t degree = 0;        ///< this node's own degree
+};
+
+/// A received CONGEST message with its sender.
+struct AddressedMessage {
+    NodeId sender = 0;
+    Bitstring payload;
+};
+
+class BroadcastCongestAlgorithm {
+public:
+    virtual ~BroadcastCongestAlgorithm() = default;
+
+    /// Called once before round 0 with this node's id, model facts, and the
+    /// node's private random stream.
+    virtual void initialize(NodeId self, const CongestInfo& info, Rng& rng) = 0;
+
+    /// The message to broadcast this round (at most info.message_bits bits),
+    /// or nullopt to stay silent.
+    virtual std::optional<Bitstring> broadcast(std::size_t round, Rng& rng) = 0;
+
+    /// Deliver the sorted multiset of messages broadcast by neighbors this
+    /// round (silent neighbors contribute nothing).
+    virtual void receive(std::size_t round, const std::vector<Bitstring>& messages,
+                         Rng& rng) = 0;
+
+    /// True once the node has terminated (it stays silent afterwards).
+    virtual bool finished() const = 0;
+};
+
+class CongestAlgorithm {
+public:
+    virtual ~CongestAlgorithm() = default;
+
+    virtual void initialize(NodeId self, const CongestInfo& info, Rng& rng) = 0;
+
+    /// Message for neighbor `neighbor` this round, or nullopt for none.
+    virtual std::optional<Bitstring> send(std::size_t round, NodeId neighbor, Rng& rng) = 0;
+
+    /// Deliver this round's messages, each with its sender, sorted by sender.
+    virtual void receive(std::size_t round, const std::vector<AddressedMessage>& messages,
+                         Rng& rng) = 0;
+
+    virtual bool finished() const = 0;
+};
+
+/// Canonical ordering for unaddressed deliveries: length, then lexicographic
+/// on bits. Engines sort deliveries with this so native and simulated runs
+/// are comparable element-wise.
+bool message_less(const Bitstring& lhs, const Bitstring& rhs);
+
+/// Sort a delivery batch canonically.
+void sort_messages(std::vector<Bitstring>& messages);
+
+}  // namespace nb

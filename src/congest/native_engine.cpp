@@ -1,0 +1,162 @@
+#include "congest/native_engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nb {
+
+Rng algorithm_stream(std::uint64_t algorithm_seed, NodeId node) {
+    return Rng(algorithm_seed).derive(0x616c676fu, node);
+}
+
+namespace {
+
+void check_message_budget(const Bitstring& message, std::size_t budget, const char* engine) {
+    if (budget > 0) {
+        require(message.size() <= budget,
+                std::string(engine) + ": message exceeds the bit budget");
+    }
+}
+
+template <typename NodeVector>
+CongestInfo info_for(const Graph& graph, const CongestParams& params, NodeId v) {
+    return CongestInfo{graph.node_count(), graph.max_degree(), params.message_bits,
+                       graph.degree(v)};
+}
+
+}  // namespace
+
+NativeBroadcastCongestEngine::NativeBroadcastCongestEngine(const Graph& graph,
+                                                           CongestParams params)
+    : graph_(graph), params_(params) {}
+
+CongestRunStats NativeBroadcastCongestEngine::run(
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes, std::size_t max_rounds) {
+    const std::size_t n = graph_.node_count();
+    require(nodes.size() == n, "NativeBroadcastCongestEngine: one algorithm per node");
+    for (const auto& node : nodes) {
+        require(node != nullptr, "NativeBroadcastCongestEngine: null algorithm");
+    }
+
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        streams.push_back(algorithm_stream(params_.algorithm_seed, v));
+        nodes[v]->initialize(v, info_for<void>(graph_, params_, v), streams[v]);
+    }
+
+    CongestRunStats stats;
+    std::vector<std::optional<Bitstring>> outbox(n);
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+        bool someone_active = false;
+        for (NodeId v = 0; v < n; ++v) {
+            outbox[v].reset();
+            if (nodes[v]->finished()) {
+                continue;
+            }
+            someone_active = true;
+            outbox[v] = nodes[v]->broadcast(round, streams[v]);
+            if (outbox[v].has_value()) {
+                check_message_budget(*outbox[v], params_.message_bits,
+                                     "NativeBroadcastCongestEngine");
+                ++stats.messages_sent;
+            }
+        }
+        if (!someone_active) {
+            stats.all_finished = true;
+            break;
+        }
+        ++stats.rounds;
+
+        for (NodeId v = 0; v < n; ++v) {
+            if (nodes[v]->finished()) {
+                continue;
+            }
+            std::vector<Bitstring> inbox;
+            for (const auto u : graph_.neighbors(v)) {
+                if (outbox[u].has_value()) {
+                    inbox.push_back(*outbox[u]);
+                }
+            }
+            sort_messages(inbox);
+            nodes[v]->receive(round, inbox, streams[v]);
+        }
+        if (round_observer_) {
+            round_observer_(round);
+        }
+    }
+
+    if (!stats.all_finished) {
+        stats.all_finished = std::all_of(nodes.begin(), nodes.end(),
+                                         [](const auto& node) { return node->finished(); });
+    }
+    return stats;
+}
+
+NativeCongestEngine::NativeCongestEngine(const Graph& graph, CongestParams params)
+    : graph_(graph), params_(params) {}
+
+CongestRunStats NativeCongestEngine::run(std::vector<std::unique_ptr<CongestAlgorithm>>& nodes,
+                                         std::size_t max_rounds) {
+    const std::size_t n = graph_.node_count();
+    require(nodes.size() == n, "NativeCongestEngine: one algorithm per node");
+    for (const auto& node : nodes) {
+        require(node != nullptr, "NativeCongestEngine: null algorithm");
+    }
+
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        streams.push_back(algorithm_stream(params_.algorithm_seed, v));
+        nodes[v]->initialize(v, info_for<void>(graph_, params_, v), streams[v]);
+    }
+
+    CongestRunStats stats;
+    // inboxes[v] accumulates this round's deliveries for v.
+    std::vector<std::vector<AddressedMessage>> inboxes(n);
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+        bool someone_active = false;
+        for (auto& inbox : inboxes) {
+            inbox.clear();
+        }
+        for (NodeId v = 0; v < n; ++v) {
+            if (nodes[v]->finished()) {
+                continue;
+            }
+            someone_active = true;
+            for (const auto u : graph_.neighbors(v)) {
+                auto message = nodes[v]->send(round, u, streams[v]);
+                if (message.has_value()) {
+                    check_message_budget(*message, params_.message_bits, "NativeCongestEngine");
+                    ++stats.messages_sent;
+                    inboxes[u].push_back(AddressedMessage{v, std::move(*message)});
+                }
+            }
+        }
+        if (!someone_active) {
+            stats.all_finished = true;
+            break;
+        }
+        ++stats.rounds;
+
+        for (NodeId v = 0; v < n; ++v) {
+            if (nodes[v]->finished()) {
+                continue;
+            }
+            std::sort(inboxes[v].begin(), inboxes[v].end(),
+                      [](const AddressedMessage& a, const AddressedMessage& b) {
+                          return a.sender < b.sender;
+                      });
+            nodes[v]->receive(round, inboxes[v], streams[v]);
+        }
+    }
+
+    if (!stats.all_finished) {
+        stats.all_finished = std::all_of(nodes.begin(), nodes.end(),
+                                         [](const auto& node) { return node->finished(); });
+    }
+    return stats;
+}
+
+}  // namespace nb

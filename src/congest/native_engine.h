@@ -1,0 +1,75 @@
+// Native (ground-truth) executors for Broadcast CONGEST and CONGEST.
+//
+// These engines deliver messages perfectly, exactly as the model definitions
+// prescribe. They serve two purposes: (1) algorithms such as maximal
+// matching are developed and measured against them directly (Section 6), and
+// (2) they are the reference semantics for differential tests of the beep
+// simulation (a correct simulated run must produce identical outputs).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "congest/algorithm.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+/// Outcome of a native run.
+struct CongestRunStats {
+    std::size_t rounds = 0;          ///< communication rounds executed
+    std::size_t messages_sent = 0;   ///< total (non-silent) messages
+    bool all_finished = false;
+};
+
+/// Shared engine configuration.
+struct CongestParams {
+    std::size_t message_bits = 0;  ///< per-message budget B; 0 = unchecked
+
+    /// Seed from which per-node algorithm streams are derived. Runs of the
+    /// same algorithm with the same seed make identical random choices on
+    /// the native engine and under beep simulation.
+    std::uint64_t algorithm_seed = 0;
+};
+
+class NativeBroadcastCongestEngine {
+public:
+    NativeBroadcastCongestEngine(const Graph& graph, CongestParams params);
+
+    /// Observability hook invoked after each completed round's deliveries
+    /// (used by experiments to sample algorithm state, e.g. the per-
+    /// iteration edge decay of Lemma 19).
+    void set_round_observer(std::function<void(std::size_t round)> observer) {
+        round_observer_ = std::move(observer);
+    }
+
+    /// Run until all nodes are finished or `max_rounds` is reached.
+    CongestRunStats run(std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes,
+                        std::size_t max_rounds);
+
+private:
+    const Graph& graph_;
+    CongestParams params_;
+    std::function<void(std::size_t)> round_observer_;
+};
+
+class NativeCongestEngine {
+public:
+    NativeCongestEngine(const Graph& graph, CongestParams params);
+
+    CongestRunStats run(std::vector<std::unique_ptr<CongestAlgorithm>>& nodes,
+                        std::size_t max_rounds);
+
+private:
+    const Graph& graph_;
+    CongestParams params_;
+};
+
+/// Per-node algorithm random streams: stream v is derive(algorithm_seed, v).
+/// Exposed so the beep-simulation engines use the identical derivation.
+Rng algorithm_stream(std::uint64_t algorithm_seed, NodeId node);
+
+}  // namespace nb

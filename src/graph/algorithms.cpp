@@ -1,0 +1,162 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace nb {
+
+std::vector<std::size_t> bfs_distances(const Graph& graph, NodeId source) {
+    require(source < graph.node_count(), "bfs_distances: source out of range");
+    std::vector<std::size_t> distance(graph.node_count(), unreachable);
+    distance[source] = 0;
+    std::deque<NodeId> frontier{source};
+    while (!frontier.empty()) {
+        const NodeId v = frontier.front();
+        frontier.pop_front();
+        for (const auto u : graph.neighbors(v)) {
+            if (distance[u] == unreachable) {
+                distance[u] = distance[v] + 1;
+                frontier.push_back(u);
+            }
+        }
+    }
+    return distance;
+}
+
+std::size_t eccentricity(const Graph& graph, NodeId source) {
+    std::size_t max_distance = 0;
+    for (const auto d : bfs_distances(graph, source)) {
+        if (d != unreachable) {
+            max_distance = std::max(max_distance, d);
+        }
+    }
+    return max_distance;
+}
+
+std::size_t diameter(const Graph& graph) {
+    std::size_t result = 0;
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        result = std::max(result, eccentricity(graph, v));
+    }
+    return result;
+}
+
+std::size_t connected_component_count(const Graph& graph) {
+    std::vector<bool> visited(graph.node_count(), false);
+    std::size_t components = 0;
+    for (NodeId start = 0; start < graph.node_count(); ++start) {
+        if (visited[start]) {
+            continue;
+        }
+        ++components;
+        std::deque<NodeId> frontier{start};
+        visited[start] = true;
+        while (!frontier.empty()) {
+            const NodeId v = frontier.front();
+            frontier.pop_front();
+            for (const auto u : graph.neighbors(v)) {
+                if (!visited[u]) {
+                    visited[u] = true;
+                    frontier.push_back(u);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+bool is_connected(const Graph& graph) {
+    return graph.node_count() <= 1 || connected_component_count(graph) == 1;
+}
+
+namespace {
+
+/// Greedy coloring over an abstract "conflicting nodes" enumeration.
+template <typename ConflictFn>
+std::vector<std::size_t> greedy_color_with_conflicts(std::size_t node_count,
+                                                     ConflictFn&& conflicts_of) {
+    std::vector<std::size_t> colors(node_count, unreachable);
+    std::vector<bool> used;
+    for (NodeId v = 0; v < node_count; ++v) {
+        used.assign(used.size(), false);
+        std::size_t max_conflict_color = 0;
+        conflicts_of(v, [&](NodeId u) {
+            if (colors[u] != unreachable) {
+                if (colors[u] >= used.size()) {
+                    used.resize(colors[u] + 1, false);
+                }
+                used[colors[u]] = true;
+                max_conflict_color = std::max(max_conflict_color, colors[u] + 1);
+            }
+        });
+        std::size_t color = 0;
+        while (color < used.size() && used[color]) {
+            ++color;
+        }
+        colors[v] = color;
+    }
+    return colors;
+}
+
+}  // namespace
+
+std::vector<std::size_t> greedy_coloring(const Graph& graph) {
+    return greedy_color_with_conflicts(graph.node_count(), [&graph](NodeId v, auto&& visit) {
+        for (const auto u : graph.neighbors(v)) {
+            visit(u);
+        }
+    });
+}
+
+std::vector<std::size_t> greedy_distance2_coloring(const Graph& graph) {
+    return greedy_color_with_conflicts(graph.node_count(), [&graph](NodeId v, auto&& visit) {
+        for (const auto u : graph.neighbors(v)) {
+            visit(u);
+            for (const auto w : graph.neighbors(u)) {
+                if (w != v) {
+                    visit(w);
+                }
+            }
+        }
+    });
+}
+
+bool is_proper_coloring(const Graph& graph, const std::vector<std::size_t>& colors) {
+    require(colors.size() == graph.node_count(), "is_proper_coloring: size mismatch");
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        for (const auto u : graph.neighbors(v)) {
+            if (colors[u] == colors[v]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool is_distance2_coloring(const Graph& graph, const std::vector<std::size_t>& colors) {
+    require(colors.size() == graph.node_count(), "is_distance2_coloring: size mismatch");
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        std::unordered_set<std::size_t> seen;
+        seen.insert(colors[v]);
+        for (const auto u : graph.neighbors(v)) {
+            // Direct neighbors conflict with v and with each other (they are
+            // all pairwise within distance 2 through v).
+            if (!seen.insert(colors[u]).second) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::size_t color_count(const std::vector<std::size_t>& colors) {
+    if (colors.empty()) {
+        return 0;
+    }
+    return *std::max_element(colors.begin(), colors.end()) + 1;
+}
+
+}  // namespace nb

@@ -1,0 +1,53 @@
+// Centralized graph utilities: traversal, components, coloring.
+//
+// The distance-2 (G^2) coloring is the substrate of the prior-work baseline
+// simulations ([7], [4]): nodes of the same color are pairwise at distance
+// > 2, so when one color class transmits, every listener has at most one
+// beeping neighbor.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nb {
+
+/// Distance marker for unreachable nodes in bfs_distances.
+inline constexpr std::size_t unreachable = std::numeric_limits<std::size_t>::max();
+
+/// BFS hop distances from `source` (unreachable for disconnected nodes).
+std::vector<std::size_t> bfs_distances(const Graph& graph, NodeId source);
+
+/// Eccentricity of `source`: max distance to any reachable node.
+std::size_t eccentricity(const Graph& graph, NodeId source);
+
+/// Diameter of the graph restricted to reachable pairs (exact; O(n*m)).
+std::size_t diameter(const Graph& graph);
+
+/// Number of connected components.
+std::size_t connected_component_count(const Graph& graph);
+
+/// True iff all nodes are in one component (n <= 1 counts as connected).
+bool is_connected(const Graph& graph);
+
+/// Greedy proper coloring of G (distance-1): adjacent nodes get different
+/// colors. Returns per-node colors in [0, max_degree].
+std::vector<std::size_t> greedy_coloring(const Graph& graph);
+
+/// Greedy coloring of G^2 (distance-2): nodes within two hops get different
+/// colors. Returns per-node colors; at most Delta^2 + 1 colors are used.
+std::vector<std::size_t> greedy_distance2_coloring(const Graph& graph);
+
+/// Verify a proper coloring of G; returns true iff no edge is monochromatic.
+bool is_proper_coloring(const Graph& graph, const std::vector<std::size_t>& colors);
+
+/// Verify a distance-2 coloring: no two distinct nodes within 2 hops share a
+/// color.
+bool is_distance2_coloring(const Graph& graph, const std::vector<std::size_t>& colors);
+
+/// Number of distinct colors used.
+std::size_t color_count(const std::vector<std::size_t>& colors);
+
+}  // namespace nb

@@ -1,0 +1,55 @@
+// Graph generators for experiments and tests.
+//
+// Includes the paper's lower-bound hard instance (complete bipartite
+// K_{Delta,Delta} plus isolated vertices, Lemma 14 / Theorem 22) and the
+// standard families used to exercise the simulation at varying n and Delta.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+/// Complete graph K_n.
+Graph make_complete(std::size_t n);
+
+/// Complete bipartite graph K_{left,right}; nodes 0..left-1 form the left
+/// part, left..left+right-1 the right part.
+Graph make_complete_bipartite(std::size_t left, std::size_t right);
+
+/// The paper's hard instance (Lemma 14): K_{delta,delta} plus enough isolated
+/// vertices to reach `n` nodes total. Precondition: n >= 2*delta.
+Graph make_hard_instance(std::size_t n, std::size_t delta);
+
+/// Cycle on n >= 3 nodes.
+Graph make_ring(std::size_t n);
+
+/// Path on n nodes.
+Graph make_path(std::size_t n);
+
+/// Star: node 0 connected to nodes 1..n-1.
+Graph make_star(std::size_t n);
+
+/// rows x cols 2D grid (4-neighborhood).
+Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// Complete `arity`-ary tree with `n` nodes (node 0 is the root; node v's
+/// parent is (v-1)/arity).
+Graph make_tree(std::size_t n, std::size_t arity);
+
+/// Erdos-Renyi G(n, p): each pair is an edge independently with probability p.
+Graph make_erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Random d-regular-ish graph via the pairing model; pairs producing
+/// self-loops or duplicates are dropped, so degrees may be slightly below d.
+/// Precondition: n * d even, d < n.
+Graph make_random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Random geometric graph: n points uniform in the unit square, edge iff
+/// Euclidean distance <= radius. The classic sensor-network topology that
+/// motivates beeping models.
+Graph make_random_geometric(std::size_t n, double radius, Rng& rng);
+
+}  // namespace nb

@@ -1,0 +1,89 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nb {
+
+Graph::Graph(std::size_t node_count) : offsets_(node_count + 1, 0) {}
+
+Graph Graph::from_edges(std::size_t node_count, const std::vector<Edge>& edges) {
+    Graph graph(node_count);
+
+    std::vector<Edge> canonical;
+    canonical.reserve(edges.size());
+    for (const auto& edge : edges) {
+        require(edge.first < node_count && edge.second < node_count,
+                "Graph::from_edges: endpoint out of range");
+        require(edge.first != edge.second, "Graph::from_edges: self-loops not allowed");
+        canonical.push_back(edge.canonical());
+    }
+    std::sort(canonical.begin(), canonical.end(), [](const Edge& a, const Edge& b) {
+        return a.first != b.first ? a.first < b.first : a.second < b.second;
+    });
+    require(std::adjacent_find(canonical.begin(), canonical.end()) == canonical.end(),
+            "Graph::from_edges: duplicate edges not allowed");
+
+    std::vector<std::size_t> degrees(node_count, 0);
+    for (const auto& edge : canonical) {
+        ++degrees[edge.first];
+        ++degrees[edge.second];
+    }
+    for (std::size_t v = 0; v < node_count; ++v) {
+        graph.offsets_[v + 1] = graph.offsets_[v] + degrees[v];
+        graph.max_degree_ = std::max(graph.max_degree_, degrees[v]);
+    }
+    graph.neighbors_.resize(2 * canonical.size());
+    std::vector<std::size_t> cursor(graph.offsets_.begin(), graph.offsets_.end() - 1);
+    for (const auto& edge : canonical) {
+        graph.neighbors_[cursor[edge.first]++] = edge.second;
+        graph.neighbors_[cursor[edge.second]++] = edge.first;
+    }
+    for (std::size_t v = 0; v < node_count; ++v) {
+        std::sort(graph.neighbors_.begin() + static_cast<std::ptrdiff_t>(graph.offsets_[v]),
+                  graph.neighbors_.begin() + static_cast<std::ptrdiff_t>(graph.offsets_[v + 1]));
+    }
+    return graph;
+}
+
+std::size_t Graph::degree(NodeId v) const {
+    require(v < node_count(), "Graph::degree: node out of range");
+    return offsets_[v + 1] - offsets_[v];
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+    require(v < node_count(), "Graph::neighbors: node out of range");
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+    require(u < node_count() && v < node_count(), "Graph::has_edge: node out of range");
+    const auto adjacency = neighbors(u);
+    return std::binary_search(adjacency.begin(), adjacency.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+    std::vector<Edge> result;
+    result.reserve(edge_count());
+    for (NodeId v = 0; v < node_count(); ++v) {
+        for (const auto u : neighbors(v)) {
+            if (v < u) {
+                result.push_back(Edge{v, u});
+            }
+        }
+    }
+    return result;
+}
+
+std::size_t Graph::non_isolated_count() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+        if (offsets_[v + 1] > offsets_[v]) {
+            ++total;
+        }
+    }
+    return total;
+}
+
+}  // namespace nb

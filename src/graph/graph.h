@@ -1,0 +1,67 @@
+// Static undirected graph in compressed sparse row form.
+//
+// Networks in all models (beeping, Broadcast CONGEST, CONGEST) share this
+// representation: nodes are 0..n-1, edges are undirected, no self-loops or
+// parallel edges. Graphs are immutable once built.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace nb {
+
+using NodeId = std::uint32_t;
+
+/// An undirected edge as an (ordered) pair of endpoints; canonical form has
+/// first < second.
+struct Edge {
+    NodeId first = 0;
+    NodeId second = 0;
+
+    /// Canonicalized copy (smaller endpoint first).
+    Edge canonical() const noexcept {
+        return first <= second ? *this : Edge{second, first};
+    }
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+public:
+    /// Empty graph with `node_count` isolated nodes.
+    explicit Graph(std::size_t node_count = 0);
+
+    /// Build from an edge list. Throws precondition_error on self-loops,
+    /// out-of-range endpoints, or duplicate edges.
+    static Graph from_edges(std::size_t node_count, const std::vector<Edge>& edges);
+
+    std::size_t node_count() const noexcept { return offsets_.size() - 1; }
+    std::size_t edge_count() const noexcept { return neighbors_.size() / 2; }
+
+    /// Degree of node v.
+    std::size_t degree(NodeId v) const;
+
+    /// Maximum degree Delta over all nodes (0 for an empty graph).
+    std::size_t max_degree() const noexcept { return max_degree_; }
+
+    /// Neighbors of v, sorted ascending.
+    std::span<const NodeId> neighbors(NodeId v) const;
+
+    /// True iff {u, v} is an edge (binary search; O(log degree)).
+    bool has_edge(NodeId u, NodeId v) const;
+
+    /// All edges in canonical form, sorted.
+    std::vector<Edge> edges() const;
+
+    /// Nodes with degree at least 1.
+    std::size_t non_isolated_count() const noexcept;
+
+private:
+    std::vector<std::size_t> offsets_;  // size n+1
+    std::vector<NodeId> neighbors_;     // size 2m, sorted within each node
+    std::size_t max_degree_ = 0;
+};
+
+}  // namespace nb

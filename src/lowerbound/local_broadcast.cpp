@@ -1,0 +1,139 @@
+#include "lowerbound/local_broadcast.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nb {
+
+LocalBroadcastInstance make_local_broadcast_instance(const Graph& graph,
+                                                     std::size_t message_bits, Rng& rng) {
+    require(message_bits >= 1, "make_local_broadcast_instance: message_bits must be >= 1");
+    LocalBroadcastInstance instance;
+    instance.message_bits = message_bits;
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        for (const auto u : graph.neighbors(v)) {
+            instance.messages[{v, u}] = Bitstring::random(rng, message_bits);
+        }
+    }
+    return instance;
+}
+
+LocalBroadcastNode::LocalBroadcastNode(std::map<NodeId, Bitstring> outgoing,
+                                       std::size_t message_bits, std::size_t chunk_bits)
+    : outgoing_(std::move(outgoing)), message_bits_(message_bits), chunk_bits_(chunk_bits) {
+    require(chunk_bits_ >= 1, "LocalBroadcastNode: chunk_bits must be >= 1");
+    for (const auto& [neighbor, message] : outgoing_) {
+        require(message.size() == message_bits_,
+                "LocalBroadcastNode: message width mismatch");
+    }
+}
+
+std::size_t LocalBroadcastNode::rounds_needed() const noexcept {
+    return ceil_div(message_bits_, chunk_bits_);
+}
+
+void LocalBroadcastNode::initialize(NodeId self, const CongestInfo& info, Rng& rng) {
+    (void)self;
+    (void)rng;
+    require(info.message_bits == 0 || info.message_bits >= chunk_bits_,
+            "LocalBroadcastNode: chunk does not fit the message budget");
+    for (auto& [neighbor, message] : received_) {
+        (void)neighbor;
+        (void)message;
+    }
+    if (outgoing_.empty() && rounds_needed() == 0) {
+        done_ = true;
+    }
+}
+
+std::optional<Bitstring> LocalBroadcastNode::send(std::size_t round, NodeId neighbor, Rng& rng) {
+    (void)rng;
+    if (round >= rounds_needed()) {
+        return std::nullopt;
+    }
+    const auto it = outgoing_.find(neighbor);
+    if (it == outgoing_.end()) {
+        return std::nullopt;
+    }
+    // Chunk `round` covers bits [round*chunk, min(B, (round+1)*chunk)).
+    const std::size_t begin = round * chunk_bits_;
+    const std::size_t end = std::min(message_bits_, begin + chunk_bits_);
+    Bitstring chunk(chunk_bits_);
+    for (std::size_t i = begin; i < end; ++i) {
+        if (it->second.test(i)) {
+            chunk.set(i - begin);
+        }
+    }
+    return chunk;
+}
+
+void LocalBroadcastNode::receive(std::size_t round, const std::vector<AddressedMessage>& messages,
+                                 Rng& rng) {
+    (void)rng;
+    for (const auto& delivery : messages) {
+        auto [it, inserted] = received_.try_emplace(delivery.sender, Bitstring(message_bits_));
+        const std::size_t begin = round * chunk_bits_;
+        for (std::size_t i = 0; i < delivery.payload.size(); ++i) {
+            if (begin + i < message_bits_ && delivery.payload.test(i)) {
+                it->second.set(begin + i);
+            }
+        }
+    }
+    ++rounds_done_;
+    if (rounds_done_ >= rounds_needed()) {
+        done_ = true;
+    }
+}
+
+bool LocalBroadcastNode::finished() const { return done_; }
+
+std::vector<std::unique_ptr<CongestAlgorithm>> make_local_broadcast_nodes(
+    const Graph& graph, const LocalBroadcastInstance& instance, std::size_t chunk_bits) {
+    std::vector<std::unique_ptr<CongestAlgorithm>> nodes;
+    nodes.reserve(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        std::map<NodeId, Bitstring> outgoing;
+        for (const auto u : graph.neighbors(v)) {
+            outgoing[u] = instance.messages.at({v, u});
+        }
+        nodes.push_back(std::make_unique<LocalBroadcastNode>(std::move(outgoing),
+                                                             instance.message_bits, chunk_bits));
+    }
+    return nodes;
+}
+
+bool verify_local_broadcast(const Graph& graph, const LocalBroadcastInstance& instance,
+                            const std::vector<std::unique_ptr<CongestAlgorithm>>& nodes) {
+    require(nodes.size() == graph.node_count(), "verify_local_broadcast: one node per vertex");
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        const auto* solver = dynamic_cast<const LocalBroadcastNode*>(nodes[v].get());
+        ensure(solver != nullptr, "verify_local_broadcast: not a LocalBroadcastNode");
+        const auto& received = solver->received();
+        if (received.size() != graph.degree(v)) {
+            return false;
+        }
+        for (const auto u : graph.neighbors(v)) {
+            const auto it = received.find(u);
+            if (it == received.end() || it->second != instance.messages.at({u, v})) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+double local_broadcast_success_log2(std::size_t rounds, std::size_t delta,
+                                    std::size_t message_bits) {
+    return static_cast<double>(rounds) -
+           static_cast<double>(delta) * static_cast<double>(delta) *
+               static_cast<double>(message_bits);
+}
+
+double matching_success_log2(std::size_t rounds, std::size_t delta, std::size_t n) {
+    return static_cast<double>(rounds) -
+           3.0 * static_cast<double>(delta) * std::log2(static_cast<double>(n));
+}
+
+}  // namespace nb

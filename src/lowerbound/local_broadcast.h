@@ -1,0 +1,88 @@
+// B-bit Local Broadcast (paper Definition 13) and its counting lower bounds.
+//
+// Every node v holds a B-bit message m_{v->u} for each neighbor u and must
+// output {<u, m_{u->v}>}. Lemma 14: on K_{Delta,Delta} (+ isolated filler
+// vertices) any beeping algorithm needs Delta^2*B/2 rounds to succeed with
+// probability > 2^{-Delta^2*B/2}, because all right-part nodes hear one
+// common transcript of at most 2^T possibilities while the correct output
+// has 2^{Delta^2*B} possibilities. Lemma 15: O(ceil(B / budget)) CONGEST
+// rounds suffice (chunked sends), so simulation overhead is
+// Omega(Delta^2 log n) for CONGEST and Omega(Delta log n) for Broadcast
+// CONGEST (Corollary 16).
+//
+// This module provides the task as a CongestAlgorithm (with chunked sends,
+// implementing Lemma 15), instance generation, output verification, and the
+// transcript-counting bound in log2 form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "congest/algorithm.h"
+#include "graph/graph.h"
+
+namespace nb {
+
+/// All inputs of a Local Broadcast instance: messages[{v,u}] = m_{v->u}
+/// for every ordered adjacent pair.
+struct LocalBroadcastInstance {
+    std::size_t message_bits = 0;
+    std::map<std::pair<NodeId, NodeId>, Bitstring> messages;
+};
+
+/// Random instance on `graph` with B-bit messages.
+LocalBroadcastInstance make_local_broadcast_instance(const Graph& graph,
+                                                     std::size_t message_bits, Rng& rng);
+
+/// Per-node solver implementing Lemma 15: message m_{v->u} is sent in
+/// ceil(B / chunk_bits) rounds of chunk_bits-bit chunks.
+class LocalBroadcastNode final : public CongestAlgorithm {
+public:
+    /// `outgoing[u]` = m_{self->u}; all must have the instance's B bits.
+    LocalBroadcastNode(std::map<NodeId, Bitstring> outgoing, std::size_t message_bits,
+                       std::size_t chunk_bits);
+
+    void initialize(NodeId self, const CongestInfo& info, Rng& rng) override;
+    std::optional<Bitstring> send(std::size_t round, NodeId neighbor, Rng& rng) override;
+    void receive(std::size_t round, const std::vector<AddressedMessage>& messages,
+                 Rng& rng) override;
+    bool finished() const override;
+
+    /// Assembled incoming messages keyed by sender.
+    const std::map<NodeId, Bitstring>& received() const noexcept { return received_; }
+
+    /// CONGEST rounds the task needs: ceil(B / chunk_bits).
+    std::size_t rounds_needed() const noexcept;
+
+private:
+    std::map<NodeId, Bitstring> outgoing_;
+    std::size_t message_bits_;
+    std::size_t chunk_bits_;
+    std::map<NodeId, Bitstring> received_;
+    std::size_t rounds_done_ = 0;
+    bool done_ = false;
+};
+
+/// Build solver nodes for an instance.
+std::vector<std::unique_ptr<CongestAlgorithm>> make_local_broadcast_nodes(
+    const Graph& graph, const LocalBroadcastInstance& instance, std::size_t chunk_bits);
+
+/// Check every node's assembled inputs against the instance.
+bool verify_local_broadcast(const Graph& graph, const LocalBroadcastInstance& instance,
+                            const std::vector<std::unique_ptr<CongestAlgorithm>>& nodes);
+
+/// Lemma 14's counting bound in log2: an algorithm running T beeping rounds
+/// on the hard instance succeeds with probability at most
+/// 2^{T - Delta^2 * B}; returns that exponent (may be negative).
+double local_broadcast_success_log2(std::size_t rounds, std::size_t delta,
+                                    std::size_t message_bits);
+
+/// Theorem 22's counting bound in log2: an r-round maximal-matching
+/// algorithm on K_{Delta,Delta} with ids from [n^4] succeeds with
+/// probability at most 2^{r - 3*Delta*log2(n)}; returns the exponent.
+double matching_success_log2(std::size_t rounds, std::size_t delta, std::size_t n);
+
+}  // namespace nb

@@ -1,0 +1,84 @@
+#include "sim/broadcast_congest_sim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nb {
+
+BroadcastCongestOverBeeps::BroadcastCongestOverBeeps(const Graph& graph,
+                                                     SimulationParams sim_params,
+                                                     CongestParams congest_params)
+    : owned_(std::make_unique<BeepTransport>(graph, sim_params)),
+      transport_(owned_.get()),
+      congest_params_(congest_params) {
+    require(congest_params_.message_bits == 0 ||
+                congest_params_.message_bits <= sim_params.message_bits,
+            "BroadcastCongestOverBeeps: congest message budget exceeds transport capacity");
+}
+
+BroadcastCongestOverBeeps::BroadcastCongestOverBeeps(const Transport& transport,
+                                                     CongestParams congest_params)
+    : transport_(&transport), congest_params_(congest_params) {}
+
+SimulatedRunStats BroadcastCongestOverBeeps::run(
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes, std::size_t max_rounds) {
+    const Graph& graph_ = transport_->graph();
+    const std::size_t n = graph_.node_count();
+    require(nodes.size() == n, "BroadcastCongestOverBeeps: one algorithm per node");
+    for (const auto& node : nodes) {
+        require(node != nullptr, "BroadcastCongestOverBeeps: null algorithm");
+    }
+
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        streams.push_back(algorithm_stream(congest_params_.algorithm_seed, v));
+        const CongestInfo info{n, graph_.max_degree(), congest_params_.message_bits,
+                               graph_.degree(v)};
+        nodes[v]->initialize(v, info, streams[v]);
+    }
+
+    SimulatedRunStats stats;
+    std::vector<std::optional<Bitstring>> outbox(n);
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+        bool someone_active = false;
+        for (NodeId v = 0; v < n; ++v) {
+            outbox[v].reset();
+            if (nodes[v]->finished()) {
+                continue;
+            }
+            someone_active = true;
+            outbox[v] = nodes[v]->broadcast(round, streams[v]);
+        }
+        if (!someone_active) {
+            stats.all_finished = true;
+            break;
+        }
+
+        const TransportRound delivery = transport_->simulate_round(outbox, round);
+        ++stats.congest_rounds;
+        stats.beep_rounds += delivery.beep_rounds;
+        stats.total_beeps += delivery.total_beeps;
+        stats.phase1_false_negatives += delivery.phase1_false_negatives;
+        stats.phase1_false_positives += delivery.phase1_false_positives;
+        stats.phase2_errors += delivery.phase2_errors;
+        if (!delivery.perfect) {
+            ++stats.imperfect_rounds;
+        }
+
+        for (NodeId v = 0; v < n; ++v) {
+            if (!nodes[v]->finished()) {
+                nodes[v]->receive(round, delivery.delivered[v], streams[v]);
+            }
+        }
+    }
+
+    if (!stats.all_finished) {
+        stats.all_finished = std::all_of(nodes.begin(), nodes.end(),
+                                         [](const auto& node) { return node->finished(); });
+    }
+    return stats;
+}
+
+}  // namespace nb

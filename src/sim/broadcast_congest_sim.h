@@ -1,0 +1,56 @@
+// Theorem 11: run any Broadcast CONGEST algorithm in the noisy beeping model.
+//
+// Each communication round of the algorithm is simulated with Algorithm 1
+// (BeepTransport), costing O(Delta log n) beep rounds. Node-level random
+// choices come from the same derived streams as the native engine, so a run
+// here and a native run with equal algorithm_seed are comparable output-for-
+// output (they agree whenever every simulated round delivers correctly).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "congest/algorithm.h"
+#include "congest/native_engine.h"
+#include "graph/graph.h"
+#include "sim/transport.h"
+
+namespace nb {
+
+/// Outcome of a simulated run.
+struct SimulatedRunStats {
+    std::size_t congest_rounds = 0;   ///< Broadcast CONGEST rounds simulated
+    std::size_t beep_rounds = 0;      ///< total beep rounds spent
+    std::size_t total_beeps = 0;      ///< total energy
+    std::size_t imperfect_rounds = 0; ///< rounds with any delivery mismatch
+    std::size_t phase1_false_negatives = 0;
+    std::size_t phase1_false_positives = 0;
+    std::size_t phase2_errors = 0;
+    bool all_finished = false;
+};
+
+class BroadcastCongestOverBeeps {
+public:
+    /// Own an Algorithm 1 transport built from `sim_params`.
+    BroadcastCongestOverBeeps(const Graph& graph, SimulationParams sim_params,
+                              CongestParams congest_params);
+
+    /// Run over an externally supplied transport (e.g. the TDMA baseline).
+    /// The transport must outlive this engine.
+    BroadcastCongestOverBeeps(const Transport& transport, CongestParams congest_params);
+
+    /// Run until every node's algorithm is finished or `max_rounds`
+    /// Broadcast CONGEST rounds have been simulated.
+    SimulatedRunStats run(std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& nodes,
+                          std::size_t max_rounds);
+
+    const Transport& transport() const noexcept { return *transport_; }
+
+private:
+    std::unique_ptr<Transport> owned_;  ///< set when this engine owns the transport
+    const Transport* transport_;        ///< never null
+    CongestParams congest_params_;
+};
+
+}  // namespace nb

@@ -1,0 +1,243 @@
+#include "sim/congest_adapter.h"
+
+#include <algorithm>
+
+#include "common/bitpack.h"
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace nb {
+
+// Broadcast layout (fixed width = 2 + 2*id_bits + 1 + B):
+//   kind:2   0 = id announce, 1 = data
+//   id announce: self:id_bits, rest zero
+//   data:        target:id_bits, sender:id_bits, present:1, payload:B
+namespace {
+constexpr std::uint64_t kind_announce = 0;
+constexpr std::uint64_t kind_data = 1;
+}  // namespace
+
+CongestViaBroadcastAdapter::CongestViaBroadcastAdapter(std::unique_ptr<CongestAlgorithm> inner,
+                                                       std::size_t inner_message_bits)
+    : inner_(std::move(inner)), inner_message_bits_(inner_message_bits) {
+    require(inner_ != nullptr, "CongestViaBroadcastAdapter: inner algorithm required");
+}
+
+std::size_t CongestViaBroadcastAdapter::required_message_bits(std::size_t node_count,
+                                                              std::size_t inner_message_bits) {
+    const std::size_t id_bits = std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, node_count)));
+    return 2 + 2 * id_bits + 1 + inner_message_bits;
+}
+
+std::size_t CongestViaBroadcastAdapter::slots_per_superround() const noexcept {
+    return std::max<std::size_t>(1, info_.max_degree);
+}
+
+void CongestViaBroadcastAdapter::initialize(NodeId self, const CongestInfo& info, Rng& rng) {
+    self_ = self;
+    info_ = info;
+    id_bits_ = std::max<std::size_t>(1, ceil_log2(std::max<std::size_t>(2, info.node_count)));
+    require(info.message_bits == 0 ||
+                info.message_bits >= required_message_bits(info.node_count, inner_message_bits_),
+            "CongestViaBroadcastAdapter: broadcast budget too small for the data layout");
+    CongestInfo inner_info = info;
+    inner_info.message_bits = inner_message_bits_;
+    inner_->initialize(self, inner_info, rng);
+}
+
+std::optional<Bitstring> CongestViaBroadcastAdapter::broadcast(std::size_t round, Rng& rng) {
+    const std::size_t width = required_message_bits(info_.node_count, inner_message_bits_);
+    if (round == 0) {
+        BitWriter writer(width);
+        writer.write(kind_announce, 2);
+        writer.write(self_, id_bits_);
+        return writer.bits();
+    }
+    const std::size_t slots = slots_per_superround();
+    const std::size_t superround = (round - 1) / slots;
+    const std::size_t slot = (round - 1) % slots;
+
+    if (slot == 0) {
+        // Collect this superround's outgoing messages from the inner
+        // algorithm, one query per neighbor in ascending id order (matching
+        // the native CONGEST engine's query order).
+        outgoing_.assign(neighbor_ids_.size(), std::nullopt);
+        if (!inner_done_) {
+            for (std::size_t i = 0; i < neighbor_ids_.size(); ++i) {
+                outgoing_[i] = inner_->send(superround, neighbor_ids_[i], rng);
+                if (outgoing_[i].has_value()) {
+                    require(outgoing_[i]->size() <= inner_message_bits_,
+                            "CongestViaBroadcastAdapter: inner message exceeds budget");
+                }
+            }
+        }
+    }
+    if (slot >= neighbor_ids_.size() || !outgoing_[slot].has_value()) {
+        return std::nullopt;
+    }
+    BitWriter writer(width);
+    writer.write(kind_data, 2);
+    writer.write(neighbor_ids_[slot], id_bits_);
+    writer.write(self_, id_bits_);
+    writer.write(1, 1);
+    const Bitstring& payload = *outgoing_[slot];
+    for (std::size_t i = 0; i < inner_message_bits_; ++i) {
+        writer.write(i < payload.size() && payload.test(i) ? 1 : 0, 1);
+    }
+    return writer.bits();
+}
+
+void CongestViaBroadcastAdapter::receive(std::size_t round, const std::vector<Bitstring>& messages,
+                                         Rng& rng) {
+    if (round == 0) {
+        neighbor_ids_.clear();
+        for (const auto& message : messages) {
+            BitReader reader(message);
+            if (reader.read(2) == kind_announce) {
+                neighbor_ids_.push_back(static_cast<NodeId>(reader.read(id_bits_)));
+            }
+        }
+        std::sort(neighbor_ids_.begin(), neighbor_ids_.end());
+        neighbor_ids_.erase(std::unique(neighbor_ids_.begin(), neighbor_ids_.end()),
+                            neighbor_ids_.end());
+        return;
+    }
+    const std::size_t slots = slots_per_superround();
+    const std::size_t superround = (round - 1) / slots;
+    const std::size_t slot = (round - 1) % slots;
+
+    for (const auto& message : messages) {
+        BitReader reader(message);
+        if (reader.read(2) != kind_data) {
+            continue;
+        }
+        const auto target = static_cast<NodeId>(reader.read(id_bits_));
+        if (target != self_) {
+            continue;
+        }
+        const auto sender = static_cast<NodeId>(reader.read(id_bits_));
+        if (reader.read(1) != 1) {
+            continue;
+        }
+        Bitstring payload(inner_message_bits_);
+        for (std::size_t i = 0; i < inner_message_bits_; ++i) {
+            if (reader.read(1) == 1) {
+                payload.set(i);
+            }
+        }
+        inbox_.push_back(AddressedMessage{sender, std::move(payload)});
+    }
+
+    if (slot + 1 == slots) {
+        std::sort(inbox_.begin(), inbox_.end(),
+                  [](const AddressedMessage& a, const AddressedMessage& b) {
+                      return a.sender < b.sender;
+                  });
+        if (!inner_done_) {
+            inner_->receive(superround, inbox_, rng);
+            if (inner_->finished()) {
+                inner_done_ = true;
+            }
+        }
+        inbox_.clear();
+        ++superrounds_done_;
+    }
+}
+
+bool CongestViaBroadcastAdapter::finished() const { return inner_done_; }
+
+CongestOverBeepsResult run_congest_over_beeps(const Graph& graph,
+                                              std::vector<std::unique_ptr<CongestAlgorithm>> nodes,
+                                              std::size_t inner_message_bits,
+                                              SimulationParams sim_params,
+                                              std::uint64_t algorithm_seed,
+                                              std::size_t max_congest_rounds) {
+    const std::size_t width =
+        CongestViaBroadcastAdapter::required_message_bits(graph.node_count(), inner_message_bits);
+    require(sim_params.message_bits >= width,
+            "run_congest_over_beeps: transport message_bits too small for the adapter layout");
+
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> adapters;
+    adapters.reserve(nodes.size());
+    std::vector<CongestViaBroadcastAdapter*> raw;
+    for (auto& inner : nodes) {
+        auto adapter =
+            std::make_unique<CongestViaBroadcastAdapter>(std::move(inner), inner_message_bits);
+        raw.push_back(adapter.get());
+        adapters.push_back(std::move(adapter));
+    }
+
+    CongestParams congest_params;
+    congest_params.message_bits = width;
+    congest_params.algorithm_seed = algorithm_seed;
+
+    BroadcastCongestOverBeeps engine(graph, sim_params, congest_params);
+    const std::size_t slots = std::max<std::size_t>(1, graph.max_degree());
+    const std::size_t max_bc_rounds = 1 + max_congest_rounds * slots;
+
+    CongestOverBeepsResult result;
+    result.broadcast_stats = engine.run(adapters, max_bc_rounds);
+    for (const auto* adapter : raw) {
+        result.congest_rounds = std::max(result.congest_rounds,
+                                         adapter->congest_rounds_completed());
+    }
+    result.adapters = std::move(adapters);
+    return result;
+}
+
+namespace {
+
+CongestAlgorithm& inner_of(const std::vector<std::unique_ptr<BroadcastCongestAlgorithm>>& adapters,
+                           std::size_t v) {
+    require(v < adapters.size(), "inner_algorithm: node out of range");
+    auto* adapter = dynamic_cast<CongestViaBroadcastAdapter*>(adapters[v].get());
+    ensure(adapter != nullptr, "inner_algorithm: not an adapter");
+    return adapter->inner();
+}
+
+}  // namespace
+
+CongestAlgorithm& CongestOverBeepsResult::inner_algorithm(std::size_t v) const {
+    return inner_of(adapters, v);
+}
+
+CongestAlgorithm& CongestViaBroadcastResult::inner_algorithm(std::size_t v) const {
+    return inner_of(adapters, v);
+}
+
+CongestViaBroadcastResult run_congest_via_broadcast(
+    const Graph& graph, std::vector<std::unique_ptr<CongestAlgorithm>> nodes,
+    std::size_t inner_message_bits, std::uint64_t algorithm_seed,
+    std::size_t max_congest_rounds) {
+    const std::size_t width =
+        CongestViaBroadcastAdapter::required_message_bits(graph.node_count(), inner_message_bits);
+
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> adapters;
+    adapters.reserve(nodes.size());
+    std::vector<CongestViaBroadcastAdapter*> raw;
+    for (auto& inner : nodes) {
+        auto adapter =
+            std::make_unique<CongestViaBroadcastAdapter>(std::move(inner), inner_message_bits);
+        raw.push_back(adapter.get());
+        adapters.push_back(std::move(adapter));
+    }
+
+    CongestParams congest_params;
+    congest_params.message_bits = width;
+    congest_params.algorithm_seed = algorithm_seed;
+
+    NativeBroadcastCongestEngine engine(graph, congest_params);
+    const std::size_t slots = std::max<std::size_t>(1, graph.max_degree());
+    const std::size_t max_bc_rounds = 1 + max_congest_rounds * slots;
+
+    CongestViaBroadcastResult result;
+    result.broadcast_stats = engine.run(adapters, max_bc_rounds);
+    for (const auto* adapter : raw) {
+        result.congest_rounds = std::max(result.congest_rounds,
+                                         adapter->congest_rounds_completed());
+    }
+    result.adapters = std::move(adapters);
+    return result;
+}
+
+}  // namespace nb

@@ -1,0 +1,103 @@
+// Corollary 12's reduction: CONGEST on top of Broadcast CONGEST.
+//
+// A CONGEST round is simulated by Delta Broadcast CONGEST slots: in slot s,
+// each node broadcasts <target, sender, payload> for its s-th neighbor;
+// receivers keep the messages addressed to them. One initial round
+// broadcasts node ids so every node learns its neighbors' ids.
+//
+// The reduction is itself a Broadcast CONGEST algorithm (this adapter), so
+// it runs unchanged on the native engine — giving Lemma 15's O(Delta)
+// upper bound — and on BroadcastCongestOverBeeps — giving Corollary 12's
+// O(Delta^2 log n)-overhead CONGEST simulation in the noisy beeping model.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "congest/algorithm.h"
+#include "congest/native_engine.h"
+#include "graph/graph.h"
+#include "sim/broadcast_congest_sim.h"
+
+namespace nb {
+
+/// Per-node adapter wrapping a CongestAlgorithm as a BroadcastCongestAlgorithm.
+class CongestViaBroadcastAdapter final : public BroadcastCongestAlgorithm {
+public:
+    /// `inner_message_bits` is the CONGEST payload budget B. The adapter's
+    /// own broadcasts need 2 + 2*id_bits + 1 + B bits (see layout below).
+    CongestViaBroadcastAdapter(std::unique_ptr<CongestAlgorithm> inner,
+                               std::size_t inner_message_bits);
+
+    void initialize(NodeId self, const CongestInfo& info, Rng& rng) override;
+    std::optional<Bitstring> broadcast(std::size_t round, Rng& rng) override;
+    void receive(std::size_t round, const std::vector<Bitstring>& messages, Rng& rng) override;
+    bool finished() const override;
+
+    /// Broadcast-message width the adapter requires for node-id space
+    /// `node_count` and inner budget B.
+    static std::size_t required_message_bits(std::size_t node_count,
+                                             std::size_t inner_message_bits);
+
+    /// CONGEST super-rounds fully delivered so far.
+    std::size_t congest_rounds_completed() const noexcept { return superrounds_done_; }
+
+    CongestAlgorithm& inner() noexcept { return *inner_; }
+
+private:
+    std::size_t slots_per_superround() const noexcept;
+
+    std::unique_ptr<CongestAlgorithm> inner_;
+    std::size_t inner_message_bits_;
+
+    NodeId self_ = 0;
+    CongestInfo info_{};
+    std::size_t id_bits_ = 0;
+
+    std::vector<NodeId> neighbor_ids_;            ///< learned in round 0, sorted
+    std::vector<std::optional<Bitstring>> outgoing_;  ///< this superround's sends
+    std::vector<AddressedMessage> inbox_;         ///< accumulating deliveries
+    std::size_t superrounds_done_ = 0;
+    bool inner_done_ = false;
+};
+
+/// Convenience runner: simulate a CONGEST algorithm in the noisy beeping
+/// model (Corollary 12) by stacking the adapter on BroadcastCongestOverBeeps.
+struct CongestOverBeepsResult {
+    SimulatedRunStats broadcast_stats;      ///< stats of the underlying BC run
+    std::size_t congest_rounds = 0;         ///< CONGEST super-rounds completed
+
+    /// The adapter nodes, returned so callers can inspect the inner
+    /// CongestAlgorithm state after the run (see inner_algorithm()).
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> adapters;
+
+    /// The wrapped CongestAlgorithm of node v.
+    CongestAlgorithm& inner_algorithm(std::size_t v) const;
+};
+
+CongestOverBeepsResult run_congest_over_beeps(
+    const Graph& graph, std::vector<std::unique_ptr<CongestAlgorithm>> nodes,
+    std::size_t inner_message_bits, SimulationParams sim_params, std::uint64_t algorithm_seed,
+    std::size_t max_congest_rounds);
+
+/// Lemma 15 route: run a CONGEST algorithm over the *native* Broadcast
+/// CONGEST engine via the same adapter (O(Delta) BC rounds per CONGEST
+/// round). Returns (BC stats, CONGEST super-rounds completed).
+struct CongestViaBroadcastResult {
+    CongestRunStats broadcast_stats;
+    std::size_t congest_rounds = 0;
+
+    /// The adapter nodes (see CongestOverBeepsResult::adapters).
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> adapters;
+
+    /// The wrapped CongestAlgorithm of node v.
+    CongestAlgorithm& inner_algorithm(std::size_t v) const;
+};
+
+CongestViaBroadcastResult run_congest_via_broadcast(
+    const Graph& graph, std::vector<std::unique_ptr<CongestAlgorithm>> nodes,
+    std::size_t inner_message_bits, std::uint64_t algorithm_seed,
+    std::size_t max_congest_rounds);
+
+}  // namespace nb

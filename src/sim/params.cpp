@@ -1,0 +1,58 @@
+#include "sim/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nb {
+
+void SimulationParams::validate() const {
+    require(epsilon >= 0.0 && epsilon < 0.5,
+            "SimulationParams: epsilon must be in [0, 1/2)");
+    require(message_bits >= 1, "SimulationParams: message_bits must be >= 1");
+    require(c_eps >= 3, "SimulationParams: c_eps must be >= 3");
+}
+
+std::size_t SimulationParams::paper_c_eps(double epsilon) {
+    require(epsilon >= 0.0 && epsilon < 0.5, "paper_c_eps: epsilon must be in [0, 1/2)");
+    // Section 3 requires c_eps >= 108 so the distance code of length
+    // c_eps^2 * B satisfies Lemma 6 (c_delta >= 12*(1-2/3... )^-2 = 108 for
+    // delta = 1/3; the paper conservatively asks c_eps itself >= 108).
+    double bound = 108.0;
+    if (epsilon > 0.0) {
+        const double one_minus_2e = 1.0 - 2.0 * epsilon;
+        // Lemma 9: c_eps >= 60/(1-2e), 54/((1-2e)^2 e) + 5, (6/e)*(1/(4e)-1/2)^-2.
+        bound = std::max(bound, 60.0 / one_minus_2e);
+        bound = std::max(bound, 54.0 / (one_minus_2e * one_minus_2e * epsilon) + 5.0);
+        const double inner = 1.0 / (4.0 * epsilon) - 0.5;
+        bound = std::max(bound, (6.0 / epsilon) / (inner * inner));
+        // Lemma 10: c_eps >= 30/(e(1-2e)), 6*((1-e)(1-2e)/(e(7-2e)))^-2.
+        bound = std::max(bound, 30.0 / (epsilon * one_minus_2e));
+        const double ratio = (1.0 - epsilon) * one_minus_2e / (epsilon * (7.0 - 2.0 * epsilon));
+        bound = std::max(bound, 6.0 / (ratio * ratio));
+    }
+    return static_cast<std::size_t>(std::ceil(bound));
+}
+
+std::size_t SimulationParams::payload_bits() const noexcept { return message_bits + 1; }
+
+std::size_t SimulationParams::distance_code_length() const noexcept {
+    return c_eps * c_eps * payload_bits();
+}
+
+std::size_t SimulationParams::beep_code_input_bits() const noexcept {
+    return c_eps * payload_bits();
+}
+
+std::size_t SimulationParams::beep_code_length(std::size_t delta) const noexcept {
+    // b = c^2 * k * a with k = Delta+1 and a = c_eps * payload_bits:
+    // c_eps^3 * (Delta+1) * payload_bits.
+    return c_eps * c_eps * c_eps * (delta + 1) * payload_bits();
+}
+
+std::size_t SimulationParams::rounds_per_broadcast_round(std::size_t delta) const noexcept {
+    return 2 * beep_code_length(delta);
+}
+
+}  // namespace nb

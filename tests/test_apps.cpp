@@ -1,0 +1,409 @@
+// Tests for the application algorithms on the NATIVE engines: maximal
+// matching (Algorithm 3), Luby MIS, (Delta+1)-coloring, BFS, and the
+// native-beep primitives. Simulated-engine (over-beeps) runs are covered in
+// test_sim_engines.cpp.
+#include <gtest/gtest.h>
+
+#include "apps/beep_primitives.h"
+#include "apps/bfs.h"
+#include "apps/coloring.h"
+#include "apps/matching.h"
+#include "apps/mis.h"
+#include "apps/multihop_election.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "congest/native_engine.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace nb {
+namespace {
+
+Graph test_graph(int id, Rng& rng) {
+    switch (id % 7) {
+        case 0:
+            return make_ring(16);
+        case 1:
+            return make_complete(10);
+        case 2:
+            return make_complete_bipartite(6, 6);
+        case 3:
+            return make_erdos_renyi(40, 0.12, rng);
+        case 4:
+            return make_star(12);
+        case 5:
+            return make_grid(5, 6);
+        default:
+            return make_random_geometric(40, 0.25, rng);
+    }
+}
+
+// ---------------------------------------------------------------- matching
+
+class MatchingNative : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MatchingNative, ProducesValidMaximalMatching) {
+    const auto [graph_id, seed] = GetParam();
+    Rng rng(graph_id * 1000 + 17);
+    const Graph g = test_graph(graph_id, rng);
+
+    auto nodes = make_matching_nodes(g);
+    CongestParams params;
+    params.message_bits = MatchingAlgorithm::required_message_bits(g.node_count());
+    params.algorithm_seed = static_cast<std::uint64_t>(seed);
+    NativeBroadcastCongestEngine engine(g, params);
+    const auto stats = engine.run(nodes, matching_rounds_for_iterations(200));
+
+    EXPECT_TRUE(stats.all_finished) << "matching did not terminate";
+    const auto outputs = collect_matching_outputs(nodes);
+    const auto verdict = verify_matching(g, outputs);
+    EXPECT_TRUE(verdict.symmetric);
+    EXPECT_TRUE(verdict.maximal);
+}
+
+INSTANTIATE_TEST_SUITE_P(GraphsAndSeeds, MatchingNative,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Matching, SingleEdgeMatches) {
+    const Graph g = make_path(2);
+    auto nodes = make_matching_nodes(g);
+    CongestParams params;
+    params.message_bits = MatchingAlgorithm::required_message_bits(2);
+    NativeBroadcastCongestEngine engine(g, params);
+    engine.run(nodes, matching_rounds_for_iterations(10));
+    const auto outputs = collect_matching_outputs(nodes);
+    ASSERT_TRUE(outputs[0].partner.has_value());
+    ASSERT_TRUE(outputs[1].partner.has_value());
+    EXPECT_EQ(*outputs[0].partner, 1u);
+    EXPECT_EQ(*outputs[1].partner, 0u);
+}
+
+TEST(Matching, IsolatedNodesUnmatched) {
+    const Graph g = make_hard_instance(12, 2);  // K_{2,2} + 8 isolated
+    auto nodes = make_matching_nodes(g);
+    CongestParams params;
+    params.message_bits = MatchingAlgorithm::required_message_bits(12);
+    NativeBroadcastCongestEngine engine(g, params);
+    const auto stats = engine.run(nodes, matching_rounds_for_iterations(50));
+    EXPECT_TRUE(stats.all_finished);
+    const auto outputs = collect_matching_outputs(nodes);
+    EXPECT_TRUE(verify_matching(g, outputs).valid());
+    for (NodeId v = 4; v < 12; ++v) {
+        EXPECT_FALSE(outputs[v].partner.has_value());
+    }
+}
+
+TEST(Matching, CompleteGraphMatchesAlmostEveryone) {
+    const Graph g = make_complete(16);
+    auto nodes = make_matching_nodes(g);
+    CongestParams params;
+    params.message_bits = MatchingAlgorithm::required_message_bits(16);
+    NativeBroadcastCongestEngine engine(g, params);
+    engine.run(nodes, matching_rounds_for_iterations(100));
+    const auto outputs = collect_matching_outputs(nodes);
+    const auto verdict = verify_matching(g, outputs);
+    EXPECT_TRUE(verdict.valid());
+    // Maximal matching on K_16 matches all 16 nodes (8 pairs).
+    EXPECT_EQ(verdict.matched_pairs, 8u);
+}
+
+TEST(Matching, TerminatesInLogarithmicIterations) {
+    // Lemma 20: O(log n) iterations w.h.p. Use a generous 8*log2(n) cap and
+    // require completion within it.
+    Rng rng(5);
+    const Graph g = make_erdos_renyi(128, 0.06, rng);
+    auto nodes = make_matching_nodes(g);
+    CongestParams params;
+    params.message_bits = MatchingAlgorithm::required_message_bits(g.node_count());
+    params.algorithm_seed = 9;
+    NativeBroadcastCongestEngine engine(g, params);
+    const std::size_t cap_iterations = 8 * ceil_log2(g.node_count());
+    const auto stats = engine.run(nodes, matching_rounds_for_iterations(cap_iterations));
+    EXPECT_TRUE(stats.all_finished);
+    EXPECT_TRUE(verify_matching(g, collect_matching_outputs(nodes)).valid());
+}
+
+TEST(Matching, VerifierCatchesAsymmetry) {
+    const Graph g = make_path(3);
+    std::vector<MatchingOutput> outputs(3);
+    outputs[0].partner = 1;  // 1 does not reciprocate
+    EXPECT_FALSE(verify_matching(g, outputs).symmetric);
+}
+
+TEST(Matching, VerifierCatchesNonMaximality) {
+    const Graph g = make_path(2);
+    const std::vector<MatchingOutput> outputs(2);  // both unmatched
+    EXPECT_FALSE(verify_matching(g, outputs).maximal);
+}
+
+TEST(Matching, VerifierCatchesNonEdgePair) {
+    const Graph g = make_path(3);  // 0-1-2; {0,2} is not an edge
+    std::vector<MatchingOutput> outputs(3);
+    outputs[0].partner = 2;
+    outputs[2].partner = 0;
+    outputs[1].partner = std::nullopt;
+    EXPECT_FALSE(verify_matching(g, outputs).symmetric);
+}
+
+// ---------------------------------------------------------------- MIS
+
+class MisNative : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MisNative, ProducesValidMis) {
+    const auto [graph_id, seed] = GetParam();
+    Rng rng(graph_id * 333 + 1);
+    const Graph g = test_graph(graph_id, rng);
+
+    auto nodes = make_mis_nodes(g);
+    CongestParams params;
+    params.message_bits = MisAlgorithm::required_message_bits(g.node_count());
+    params.algorithm_seed = static_cast<std::uint64_t>(seed);
+    NativeBroadcastCongestEngine engine(g, params);
+    const auto stats = engine.run(nodes, 1 + 2 * 30 * ceil_log2(g.node_count() + 1));
+    EXPECT_TRUE(stats.all_finished);
+    const auto verdict = verify_mis(g, collect_mis_outputs(nodes));
+    EXPECT_TRUE(verdict.independent);
+    EXPECT_TRUE(verdict.maximal);
+    EXPECT_GE(verdict.size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(GraphsAndSeeds, MisNative,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                                            ::testing::Values(4, 5)));
+
+TEST(Mis, CompleteGraphPicksExactlyOne) {
+    const Graph g = make_complete(12);
+    auto nodes = make_mis_nodes(g);
+    CongestParams params;
+    params.message_bits = MisAlgorithm::required_message_bits(12);
+    NativeBroadcastCongestEngine engine(g, params);
+    engine.run(nodes, 200);
+    const auto verdict = verify_mis(g, collect_mis_outputs(nodes));
+    EXPECT_TRUE(verdict.valid());
+    EXPECT_EQ(verdict.size, 1u);
+}
+
+TEST(Mis, EdgelessGraphPicksAll) {
+    const Graph g(9);
+    auto nodes = make_mis_nodes(g);
+    CongestParams params;
+    params.message_bits = MisAlgorithm::required_message_bits(9);
+    NativeBroadcastCongestEngine engine(g, params);
+    engine.run(nodes, 10);
+    const auto verdict = verify_mis(g, collect_mis_outputs(nodes));
+    EXPECT_TRUE(verdict.valid());
+    EXPECT_EQ(verdict.size, 9u);
+}
+
+TEST(Mis, VerifierCatchesDependence) {
+    const Graph g = make_path(2);
+    EXPECT_FALSE(verify_mis(g, {true, true}).independent);
+    EXPECT_FALSE(verify_mis(g, {false, false}).maximal);
+    EXPECT_TRUE(verify_mis(g, {true, false}).valid());
+}
+
+// ---------------------------------------------------------------- coloring
+
+class ColoringNative : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringNative, ProducesProperDeltaPlusOneColoring) {
+    const int graph_id = GetParam();
+    Rng rng(graph_id * 71 + 3);
+    const Graph g = test_graph(graph_id, rng);
+
+    auto nodes = make_coloring_nodes(g);
+    CongestParams params;
+    params.message_bits =
+        ColoringAlgorithm::required_message_bits(g.node_count(), g.max_degree());
+    params.algorithm_seed = 31;
+    NativeBroadcastCongestEngine engine(g, params);
+    const auto stats = engine.run(nodes, 1 + 2 * 40 * ceil_log2(g.node_count() + 1));
+    EXPECT_TRUE(stats.all_finished);
+    EXPECT_TRUE(verify_coloring(g, collect_coloring_outputs(nodes)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, ColoringNative, ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------- BFS
+
+class BfsNative : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsNative, MatchesCentralizedBfs) {
+    const int graph_id = GetParam();
+    Rng rng(graph_id * 13 + 29);
+    const Graph g = test_graph(graph_id, rng);
+
+    auto nodes = make_bfs_nodes(g, 0);
+    CongestParams params;
+    params.message_bits = BfsAlgorithm::required_message_bits(g.node_count());
+    NativeBroadcastCongestEngine engine(g, params);
+    const auto stats = engine.run(nodes, g.node_count() + 3);
+    EXPECT_TRUE(stats.all_finished);
+    EXPECT_TRUE(verify_bfs(g, 0, collect_bfs_outputs(nodes)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, BfsNative, ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(Bfs, DisconnectedMarksUnreached) {
+    const Graph g = Graph::from_edges(5, {{0, 1}, {2, 3}});
+    auto nodes = make_bfs_nodes(g, 0);
+    CongestParams params;
+    params.message_bits = BfsAlgorithm::required_message_bits(5);
+    NativeBroadcastCongestEngine engine(g, params);
+    engine.run(nodes, 10);
+    const auto outputs = collect_bfs_outputs(nodes);
+    EXPECT_TRUE(verify_bfs(g, 0, outputs));
+    EXPECT_EQ(outputs[2].distance, std::numeric_limits<std::size_t>::max());
+}
+
+// ------------------------------------------------------- beep primitives
+
+TEST(BeepWave, NoiselessArrivalEqualsDistance) {
+    for (const auto& g : {make_path(12), make_ring(10), make_grid(4, 5)}) {
+        const auto result = beep_wave(g, 0, 0.0, 77, g.node_count() + 2);
+        const auto expected = bfs_distances(g, 0);
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+            EXPECT_EQ(result.arrival[v], expected[v]) << "node " << v;
+        }
+    }
+}
+
+TEST(BeepWave, EnergyIsOneBeepPerNode) {
+    const Graph g = make_path(8);
+    const auto result = beep_wave(g, 0, 0.0, 3, 12);
+    EXPECT_EQ(result.stats.total_beeps, 8u);
+}
+
+TEST(LeaderElection, CliqueElectsExactlyOne) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+        const Graph g = make_complete(20);
+        const auto result = single_hop_leader_election(g, 48, 0.0, seed);
+        EXPECT_EQ(result.leaders_declared, 1u);
+        ASSERT_TRUE(result.leader.has_value());
+        EXPECT_LT(*result.leader, 20u);
+    }
+}
+
+TEST(LeaderElection, SingleNodeWinsTrivially) {
+    const Graph g = make_complete(1);
+    const auto result = single_hop_leader_election(g, 8, 0.0, 5);
+    EXPECT_EQ(result.leaders_declared, 1u);
+}
+
+class BeepBroadcast : public ::testing::TestWithParam<int> {};
+
+TEST_P(BeepBroadcast, AllNodesDecodeTheMessage) {
+    const int graph_id = GetParam();
+    Rng rng(graph_id * 5 + 1);
+    const Graph g = [&]() {
+        switch (graph_id % 5) {
+            case 0:
+                return make_path(20);
+            case 1:
+                return make_ring(15);
+            case 2:
+                return make_grid(4, 6);
+            case 3:
+                return make_tree(31, 2);
+            default:
+                return make_random_geometric(30, 0.35, rng);
+        }
+    }();
+    Rng message_rng(graph_id);
+    const Bitstring message = Bitstring::random(message_rng, 24);
+    const auto result = beep_broadcast(g, 0, message, 11);
+    const auto distances = bfs_distances(g, 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (distances[v] == unreachable) {
+            EXPECT_FALSE(result.reached[v]);
+            continue;
+        }
+        EXPECT_TRUE(result.reached[v]) << "node " << v;
+        EXPECT_EQ(result.decoded[v], message) << "node " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, BeepBroadcast, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(BeepBroadcastRounds, MatchesDPlusBBound) {
+    // O(D + b): on a path of length 19 with a 24-bit message the run must
+    // finish within D + 3(b+1) + a small constant.
+    const Graph g = make_path(20);
+    Rng message_rng(3);
+    const Bitstring message = Bitstring::random(message_rng, 24);
+    const auto result = beep_broadcast(g, 0, message, 7);
+    const std::size_t diameter_bound = 19;
+    EXPECT_LE(result.stats.rounds, diameter_bound + 3 * (message.size() + 2) + 2);
+    EXPECT_GE(result.stats.rounds, diameter_bound);
+}
+
+TEST(BeepBroadcastRounds, AllZeroAndAllOneMessages) {
+    const Graph g = make_grid(3, 5);
+    for (const std::string pattern : {"00000000", "11111111", "10000001"}) {
+        const Bitstring message = Bitstring::from_string(pattern);
+        const auto result = beep_broadcast(g, 0, message, 9);
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+            EXPECT_EQ(result.decoded[v], message) << pattern << " node " << v;
+        }
+    }
+}
+
+TEST(BeepBroadcastRounds, DisconnectedNodesUnreached) {
+    const Graph g = Graph::from_edges(5, {{0, 1}, {2, 3}});
+    const Bitstring message = Bitstring::from_string("101");
+    const auto result = beep_broadcast(g, 0, message, 13);
+    EXPECT_TRUE(result.reached[1]);
+    EXPECT_EQ(result.decoded[1], message);
+    EXPECT_FALSE(result.reached[2]);
+    EXPECT_FALSE(result.reached[4]);
+}
+
+class MultihopElection : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MultihopElection, ElectsUniqueLeaderAndAllAgree) {
+    const auto [graph_id, seed] = GetParam();
+    Rng rng(graph_id * 3 + 2);
+    const Graph g = [&]() {
+        switch (graph_id % 5) {
+            case 0:
+                return make_ring(12);
+            case 1:
+                return make_path(16);
+            case 2:
+                return make_grid(4, 5);
+            case 3:
+                return make_tree(15, 2);
+            default:
+                return make_complete(10);
+        }
+    }();
+    const std::size_t phase_length = diameter(g) + 2;
+    const auto result = multihop_leader_election(g, 48, phase_length,
+                                                 static_cast<std::uint64_t>(seed));
+    EXPECT_EQ(result.leaders_declared, 1u) << "graph " << graph_id;
+    EXPECT_TRUE(result.leader.has_value());
+    EXPECT_TRUE(result.all_agree_on_rank);
+    EXPECT_EQ(result.stats.rounds, 48 * phase_length);
+}
+
+INSTANTIATE_TEST_SUITE_P(GraphsAndSeeds, MultihopElection,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(MultihopElectionEdge, DisconnectedComponentsEachElect) {
+    const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+    const auto result = multihop_leader_election(g, 48, 8, 7);
+    // One leader per component -> 2 declared, no unique global leader.
+    EXPECT_EQ(result.leaders_declared, 2u);
+    EXPECT_FALSE(result.leader.has_value());
+}
+
+TEST(MultihopElectionEdge, PhaseLengthValidation) {
+    const Graph g = make_ring(6);
+    EXPECT_THROW(multihop_leader_election(g, 0, 8, 1), precondition_error);
+    EXPECT_THROW(multihop_leader_election(g, 8, 1, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace nb

@@ -1,0 +1,161 @@
+// Tests for the prior-work baselines: the G^2-coloring TDMA transport and
+// the closed-form cost models.
+#include <gtest/gtest.h>
+
+#include "apps/matching.h"
+#include "baselines/cost_models.h"
+#include "baselines/tdma_transport.h"
+#include "common/math_util.h"
+#include "graph/generators.h"
+#include "sim/broadcast_congest_sim.h"
+
+namespace nb {
+namespace {
+
+std::vector<std::optional<Bitstring>> random_messages_for(const Graph& graph,
+                                                          std::size_t bits,
+                                                          std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::optional<Bitstring>> messages(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        messages[v] = Bitstring::random(rng, bits);
+    }
+    return messages;
+}
+
+TEST(TdmaTransport, NoiselessDeliversExactly) {
+    Rng rng(4);
+    const Graph g = make_erdos_renyi(30, 0.15, rng);
+    TdmaParams params;
+    params.message_bits = 12;
+    const TdmaTransport transport(g, params);
+    const auto messages = random_messages_for(g, 12, 9);
+    const auto round = transport.simulate_round(messages, 0);
+    EXPECT_TRUE(round.perfect);
+    EXPECT_EQ(round.beep_rounds, transport.rounds_per_broadcast_round());
+}
+
+TEST(TdmaTransport, RoundCostIsColorsTimesPayload) {
+    const Graph g = make_complete_bipartite(5, 5);
+    TdmaParams params;
+    params.message_bits = 10;
+    params.repetitions = 3;
+    const TdmaTransport transport(g, params);
+    // K_{5,5}: all nodes within distance 2 -> 10 colors.
+    EXPECT_EQ(transport.color_count(), 10u);
+    EXPECT_EQ(transport.rounds_per_broadcast_round(), 10u * 11u * 3u);
+}
+
+TEST(TdmaTransport, NoisyNeedsRepetition) {
+    Rng rng(5);
+    const Graph g = make_erdos_renyi(20, 0.2, rng);
+    const auto messages = random_messages_for(g, 10, 10);
+
+    TdmaParams bare;
+    bare.message_bits = 10;
+    bare.epsilon = 0.1;
+    bare.repetitions = 1;
+    const TdmaTransport unprotected(g, bare);
+
+    TdmaParams coded = bare;
+    coded.repetitions = TdmaParams::recommended_repetitions(g.node_count(), 0.1);
+    const TdmaTransport protected_transport(g, coded);
+
+    std::size_t bare_mismatches = 0;
+    std::size_t coded_mismatches = 0;
+    for (std::uint64_t nonce = 0; nonce < 5; ++nonce) {
+        bare_mismatches += unprotected.simulate_round(messages, nonce).delivery_mismatches;
+        coded_mismatches += protected_transport.simulate_round(messages, nonce).delivery_mismatches;
+    }
+    EXPECT_GT(bare_mismatches, 0u);   // eps=0.1 per bit destroys unprotected rounds
+    EXPECT_EQ(coded_mismatches, 0u);  // majority coding restores delivery
+}
+
+TEST(TdmaTransport, RecommendedRepetitionsScale) {
+    EXPECT_EQ(TdmaParams::recommended_repetitions(1000, 0.0), 1u);
+    const std::size_t low = TdmaParams::recommended_repetitions(1000, 0.1);
+    const std::size_t high = TdmaParams::recommended_repetitions(1000, 0.4);
+    EXPECT_GT(low, 1u);
+    EXPECT_GT(high, low);                // shrinking margin needs more repetition
+    EXPECT_EQ(low % 2, 1u);              // odd, so majorities are unambiguous
+}
+
+TEST(TdmaTransport, RunsAlgorithmsViaSharedEngine) {
+    // The TDMA baseline plugs into the same simulated engine as Algorithm 1.
+    const Graph g = make_ring(8);
+    const std::size_t width = MatchingAlgorithm::required_message_bits(8);
+    TdmaParams params;
+    params.message_bits = width;
+    const TdmaTransport transport(g, params);
+    BroadcastCongestOverBeeps engine(transport, CongestParams{width, 3});
+    auto nodes = make_matching_nodes(g);
+    const auto stats = engine.run(nodes, matching_rounds_for_iterations(60));
+    EXPECT_TRUE(stats.all_finished);
+    EXPECT_TRUE(verify_matching(g, collect_matching_outputs(nodes)).valid());
+    EXPECT_EQ(stats.beep_rounds,
+              stats.congest_rounds * transport.rounds_per_broadcast_round());
+}
+
+TEST(CostModels, OursIsLinearInDelta) {
+    const std::size_t at8 = ours_broadcast_overhead(8, 16, 4);
+    const std::size_t at16 = ours_broadcast_overhead(16, 16, 4);
+    const std::size_t at32 = ours_broadcast_overhead(32, 16, 4);
+    // Doubling Delta roughly doubles the overhead ((Delta+1) factor).
+    EXPECT_NEAR(static_cast<double>(at16) / at8, 2.0, 0.15);
+    EXPECT_NEAR(static_cast<double>(at32) / at16, 2.0, 0.15);
+}
+
+TEST(CostModels, AglIsCubicInDeltaBelowSqrtN) {
+    const std::size_t n = 1u << 20;  // Delta^2 << n regime
+    const double r1 = static_cast<double>(agl_congest_overhead(n, 16, 20));
+    const double r2 = static_cast<double>(agl_congest_overhead(n, 32, 20));
+    EXPECT_NEAR(r2 / r1, 8.0, 0.2);  // Delta * Delta^2 scaling
+}
+
+TEST(CostModels, OursBeatsAglForLargeDelta) {
+    // Theorem statement: improvement factor Theta(min{n/Delta, Delta}).
+    // With concrete c_eps=4 constants the crossover sits at
+    // Delta ~ 2*c^3*(B+1)/log n; beyond it ours wins and the gap widens
+    // linearly in Delta (the Theta(Delta) improvement regime).
+    const std::size_t n = 1u << 20;
+    const std::size_t log_n = 20;
+    const std::size_t B = log_n;
+    const double gap256 = static_cast<double>(agl_congest_overhead(n, 256, log_n)) /
+                          static_cast<double>(ours_congest_overhead(256, B, 4));
+    const double gap512 = static_cast<double>(agl_congest_overhead(n, 512, log_n)) /
+                          static_cast<double>(ours_congest_overhead(512, B, 4));
+    EXPECT_GT(gap256, 1.0);
+    EXPECT_GT(gap512, gap256);
+    // Below the crossover the asymptotic gap has not kicked in yet.
+    const double gap16 = static_cast<double>(agl_congest_overhead(n, 16, log_n)) /
+                         static_cast<double>(ours_congest_overhead(16, B, 4));
+    EXPECT_LT(gap16, gap256);
+}
+
+TEST(CostModels, LowerBoundsBelowOurCosts) {
+    // Our upper bounds must sit above the Corollary 16 lower bounds.
+    for (const std::size_t delta : {4u, 16u, 64u}) {
+        EXPECT_GE(ours_broadcast_overhead(delta, 12, 3),
+                  lower_bound_broadcast_overhead(delta, 12));
+        EXPECT_GE(ours_congest_overhead(delta, 12, 3),
+                  lower_bound_congest_overhead(delta, 12));
+    }
+}
+
+TEST(CostModels, MatchingImprovementFactor) {
+    // Section 6: ours improves on the prior route by ~Delta^3 / log n.
+    const std::size_t n = 1u << 16;
+    const std::size_t log_n = 16;
+    const std::size_t delta = 64;
+    const std::size_t ours = ours_matching_rounds(delta, log_n, 4, 2 * log_n + 50);
+    const std::size_t prior = prior_matching_rounds(n, delta, log_n, log_star(n));
+    EXPECT_GT(prior, ours);
+}
+
+TEST(CostModels, LocalBroadcastBound) {
+    EXPECT_EQ(local_broadcast_lower_bound(8, 16), 8u * 8u * 16u / 2u);
+    EXPECT_EQ(matching_lower_bound(16, 10), 160u);
+}
+
+}  // namespace
+}  // namespace nb

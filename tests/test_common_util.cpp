@@ -1,0 +1,126 @@
+// Unit tests for math utilities, bit packing, and the table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitpack.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/table.h"
+
+namespace nb {
+namespace {
+
+TEST(MathUtil, CeilLog2) {
+    EXPECT_EQ(ceil_log2(1), 0u);
+    EXPECT_EQ(ceil_log2(2), 1u);
+    EXPECT_EQ(ceil_log2(3), 2u);
+    EXPECT_EQ(ceil_log2(4), 2u);
+    EXPECT_EQ(ceil_log2(5), 3u);
+    EXPECT_EQ(ceil_log2(1024), 10u);
+    EXPECT_EQ(ceil_log2(1025), 11u);
+    EXPECT_THROW(ceil_log2(0), precondition_error);
+}
+
+TEST(MathUtil, FloorLog2) {
+    EXPECT_EQ(floor_log2(1), 0u);
+    EXPECT_EQ(floor_log2(2), 1u);
+    EXPECT_EQ(floor_log2(3), 1u);
+    EXPECT_EQ(floor_log2(1024), 10u);
+    EXPECT_THROW(floor_log2(0), precondition_error);
+}
+
+TEST(MathUtil, CeilDiv) {
+    EXPECT_EQ(ceil_div(0, 3), 0u);
+    EXPECT_EQ(ceil_div(1, 3), 1u);
+    EXPECT_EQ(ceil_div(3, 3), 1u);
+    EXPECT_EQ(ceil_div(4, 3), 2u);
+    EXPECT_THROW(ceil_div(4, 0), precondition_error);
+}
+
+TEST(MathUtil, LogStar) {
+    EXPECT_EQ(log_star(1.0), 0u);
+    EXPECT_EQ(log_star(2.0), 1u);
+    EXPECT_EQ(log_star(4.0), 2u);
+    EXPECT_EQ(log_star(16.0), 3u);
+    EXPECT_EQ(log_star(65536.0), 4u);
+}
+
+TEST(MathUtil, RoundUpToMultiple) {
+    EXPECT_EQ(round_up_to_multiple(0, 4), 0u);
+    EXPECT_EQ(round_up_to_multiple(1, 4), 4u);
+    EXPECT_EQ(round_up_to_multiple(4, 4), 4u);
+    EXPECT_EQ(round_up_to_multiple(5, 4), 8u);
+}
+
+TEST(Summary, Statistics) {
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(BitPack, RoundTrip) {
+    BitWriter writer(32);
+    writer.write(5, 3);
+    writer.write(0, 4);
+    writer.write(1023, 10);
+    EXPECT_EQ(writer.written(), 17u);
+
+    BitReader reader(writer.bits());
+    EXPECT_EQ(reader.read(3), 5u);
+    EXPECT_EQ(reader.read(4), 0u);
+    EXPECT_EQ(reader.read(10), 1023u);
+    EXPECT_EQ(reader.remaining(), 15u);
+}
+
+TEST(BitPack, Full64BitField) {
+    BitWriter writer(64);
+    const std::uint64_t value = 0xdeadbeefcafef00dULL;
+    writer.write(value, 64);
+    BitReader reader(writer.bits());
+    EXPECT_EQ(reader.read(64), value);
+}
+
+TEST(BitPack, OverflowChecks) {
+    BitWriter writer(8);
+    EXPECT_THROW(writer.write(4, 2), precondition_error);  // value does not fit
+    writer.write(3, 2);
+    EXPECT_THROW(writer.write(0, 7), precondition_error);  // capacity exceeded
+
+    BitReader reader(writer.bits());
+    reader.read(8);
+    EXPECT_THROW(reader.read(1), precondition_error);  // out of data
+}
+
+TEST(Table, PrintsAlignedRows) {
+    Table table({"x", "value"});
+    table.add_row({"1", "10.00"});
+    table.add_row({"2", "20.50"});
+    std::ostringstream out;
+    table.print(out, "demo");
+    const std::string text = out.str();
+    EXPECT_NE(text.find("== demo =="), std::string::npos);
+    EXPECT_NE(text.find("| 1"), std::string::npos);
+    EXPECT_NE(text.find("20.50"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(std::size_t{42}), "42");
+}
+
+TEST(Table, RejectsTooManyCells) {
+    Table table({"only"});
+    EXPECT_THROW(table.add_row({"a", "b"}), precondition_error);
+}
+
+}  // namespace
+}  // namespace nb

@@ -1,0 +1,235 @@
+// Tests for the native Broadcast CONGEST / CONGEST engines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/bitpack.h"
+#include "common/error.h"
+#include "congest/algorithm.h"
+#include "congest/native_engine.h"
+#include "graph/generators.h"
+
+namespace nb {
+namespace {
+
+/// Broadcasts its own id once and records everything heard per round.
+class EchoNode final : public BroadcastCongestAlgorithm {
+public:
+    void initialize(NodeId self, const CongestInfo& info, Rng&) override {
+        self_ = self;
+        info_ = info;
+    }
+
+    std::optional<Bitstring> broadcast(std::size_t round, Rng&) override {
+        if (round == 0) {
+            BitWriter writer(info_.message_bits);
+            writer.write(self_, 16);
+            return writer.bits();
+        }
+        return std::nullopt;
+    }
+
+    void receive(std::size_t round, const std::vector<Bitstring>& messages, Rng&) override {
+        if (round == 0) {
+            for (const auto& message : messages) {
+                BitReader reader(message);
+                heard_.push_back(static_cast<NodeId>(reader.read(16)));
+            }
+        }
+        done_ = true;
+    }
+
+    bool finished() const override { return done_; }
+
+    const std::vector<NodeId>& heard() const noexcept { return heard_; }
+
+private:
+    NodeId self_ = 0;
+    CongestInfo info_{};
+    std::vector<NodeId> heard_;
+    bool done_ = false;
+};
+
+/// CONGEST node that sends <self, neighbor> tagged payloads to each neighbor.
+class DirectedNode final : public CongestAlgorithm {
+public:
+    void initialize(NodeId self, const CongestInfo& info, Rng&) override {
+        self_ = self;
+        info_ = info;
+    }
+
+    std::optional<Bitstring> send(std::size_t round, NodeId neighbor, Rng&) override {
+        if (round > 0) {
+            return std::nullopt;
+        }
+        BitWriter writer(info_.message_bits);
+        writer.write(self_, 12);
+        writer.write(neighbor, 12);
+        return writer.bits();
+    }
+
+    void receive(std::size_t, const std::vector<AddressedMessage>& messages, Rng&) override {
+        for (const auto& delivery : messages) {
+            BitReader reader(delivery.payload);
+            const auto claimed_sender = static_cast<NodeId>(reader.read(12));
+            const auto target = static_cast<NodeId>(reader.read(12));
+            correct_ &= claimed_sender == delivery.sender && target == self_;
+            ++received_;
+        }
+        done_ = true;
+    }
+
+    bool finished() const override { return done_; }
+
+    bool correct() const noexcept { return correct_; }
+    std::size_t received() const noexcept { return received_; }
+
+private:
+    NodeId self_ = 0;
+    CongestInfo info_{};
+    bool correct_ = true;
+    std::size_t received_ = 0;
+    bool done_ = false;
+};
+
+TEST(NativeBroadcastCongest, DeliversNeighborMultiset) {
+    const Graph g = make_ring(6);
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> nodes;
+    std::vector<EchoNode*> raw;
+    for (NodeId v = 0; v < 6; ++v) {
+        auto node = std::make_unique<EchoNode>();
+        raw.push_back(node.get());
+        nodes.push_back(std::move(node));
+    }
+    NativeBroadcastCongestEngine engine(g, CongestParams{32, 7});
+    const auto stats = engine.run(nodes, 10);
+    EXPECT_TRUE(stats.all_finished);
+    EXPECT_EQ(stats.rounds, 1u);
+    EXPECT_EQ(stats.messages_sent, 6u);
+    for (NodeId v = 0; v < 6; ++v) {
+        ASSERT_EQ(raw[v]->heard().size(), 2u);
+        const NodeId left = (v + 5) % 6;
+        const NodeId right = (v + 1) % 6;
+        EXPECT_TRUE((raw[v]->heard()[0] == left && raw[v]->heard()[1] == right) ||
+                    (raw[v]->heard()[0] == right && raw[v]->heard()[1] == left));
+    }
+}
+
+TEST(NativeBroadcastCongest, EnforcesMessageBudget) {
+    class Oversender final : public BroadcastCongestAlgorithm {
+    public:
+        void initialize(NodeId, const CongestInfo&, Rng&) override {}
+        std::optional<Bitstring> broadcast(std::size_t, Rng&) override {
+            return Bitstring(64);
+        }
+        void receive(std::size_t, const std::vector<Bitstring>&, Rng&) override {}
+        bool finished() const override { return false; }
+    };
+    const Graph g = make_path(2);
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> nodes;
+    nodes.push_back(std::make_unique<Oversender>());
+    nodes.push_back(std::make_unique<Oversender>());
+    NativeBroadcastCongestEngine engine(g, CongestParams{32, 0});
+    EXPECT_THROW(engine.run(nodes, 2), precondition_error);
+}
+
+TEST(NativeBroadcastCongest, RoundObserverFires) {
+    const Graph g = make_ring(4);
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> nodes;
+    for (NodeId v = 0; v < 4; ++v) {
+        nodes.push_back(std::make_unique<EchoNode>());
+    }
+    NativeBroadcastCongestEngine engine(g, CongestParams{32, 1});
+    std::vector<std::size_t> observed;
+    engine.set_round_observer([&observed](std::size_t round) { observed.push_back(round); });
+    engine.run(nodes, 10);
+    EXPECT_EQ(observed, (std::vector<std::size_t>{0}));
+}
+
+TEST(NativeCongest, DeliversAddressedMessages) {
+    Rng rng(3);
+    const Graph g = make_erdos_renyi(12, 0.3, rng);
+    std::vector<std::unique_ptr<CongestAlgorithm>> nodes;
+    std::vector<DirectedNode*> raw;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        auto node = std::make_unique<DirectedNode>();
+        raw.push_back(node.get());
+        nodes.push_back(std::move(node));
+    }
+    NativeCongestEngine engine(g, CongestParams{32, 5});
+    const auto stats = engine.run(nodes, 5);
+    EXPECT_TRUE(stats.all_finished);
+    EXPECT_EQ(stats.messages_sent, 2 * g.edge_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_TRUE(raw[v]->correct());
+        EXPECT_EQ(raw[v]->received(), g.degree(v));
+    }
+}
+
+TEST(NativeCongest, SortsDeliveriesBySender) {
+    const Graph g = make_star(5);
+    std::vector<std::unique_ptr<CongestAlgorithm>> nodes;
+    std::vector<DirectedNode*> raw;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        auto node = std::make_unique<DirectedNode>();
+        raw.push_back(node.get());
+        nodes.push_back(std::move(node));
+    }
+
+    class Recorder final : public CongestAlgorithm {
+    public:
+        void initialize(NodeId, const CongestInfo&, Rng&) override {}
+        std::optional<Bitstring> send(std::size_t, NodeId, Rng&) override {
+            return std::nullopt;
+        }
+        void receive(std::size_t, const std::vector<AddressedMessage>& messages, Rng&) override {
+            for (std::size_t i = 1; i < messages.size(); ++i) {
+                sorted_ &= messages[i - 1].sender < messages[i].sender;
+            }
+            done_ = true;
+        }
+        bool finished() const override { return done_; }
+        bool sorted() const noexcept { return sorted_; }
+
+    private:
+        bool sorted_ = true;
+        bool done_ = false;
+    };
+
+    auto recorder = std::make_unique<Recorder>();
+    const Recorder* recorder_ptr = recorder.get();
+    nodes[0] = std::move(recorder);
+    NativeCongestEngine engine(g, CongestParams{32, 5});
+    engine.run(nodes, 3);
+    EXPECT_TRUE(recorder_ptr->sorted());
+}
+
+TEST(MessageOrdering, CanonicalAndTotal) {
+    const auto a = Bitstring::from_string("01");
+    const auto b = Bitstring::from_string("10");
+    const auto c = Bitstring::from_string("101");
+    EXPECT_TRUE(message_less(a, c));   // shorter first
+    EXPECT_FALSE(message_less(a, a));  // irreflexive
+    EXPECT_TRUE(message_less(a, b) != message_less(b, a));  // antisymmetric
+    std::vector<Bitstring> messages{c, b, a};
+    sort_messages(messages);
+    EXPECT_EQ(messages[2], c);
+}
+
+TEST(AlgorithmStream, MatchesAcrossEngines) {
+    // The derivation used by native engines and beep simulation must agree.
+    Rng a = algorithm_stream(42, 7);
+    Rng b = algorithm_stream(42, 7);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+    Rng c = algorithm_stream(42, 8);
+    bool differs = false;
+    for (int i = 0; i < 10; ++i) {
+        differs |= b.next_u64() != c.next_u64();
+    }
+    EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace nb

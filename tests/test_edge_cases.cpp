@@ -1,0 +1,190 @@
+// Edge-case and boundary tests across the stack: degenerate graphs
+// (edgeless, single node, two nodes), boundary message widths, code corner
+// parameters, and adapter limits.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "apps/matching.h"
+#include "apps/mis.h"
+#include "codes/distance_code.h"
+#include "codes/kautz_singleton.h"
+#include "common/error.h"
+#include "congest/native_engine.h"
+#include "graph/generators.h"
+#include "lowerbound/local_broadcast.h"
+#include "sim/broadcast_congest_sim.h"
+#include "sim/congest_adapter.h"
+#include "sim/transport.h"
+
+namespace nb {
+namespace {
+
+SimulationParams tiny_params(std::size_t message_bits) {
+    SimulationParams params;
+    params.message_bits = message_bits;
+    params.c_eps = 3;
+    return params;
+}
+
+TEST(EdgeCases, TransportOnEdgelessGraph) {
+    // Delta = 0: b = 2*c^3*(0+1)*(B+1) rounds, nobody hears anything.
+    const Graph g(5);
+    const BeepTransport transport(g, tiny_params(4));
+    std::vector<std::optional<Bitstring>> messages(5, Bitstring::from_string("1010"));
+    const auto round = transport.simulate_round(messages, 0);
+    EXPECT_TRUE(round.perfect);
+    for (const auto& delivered : round.delivered) {
+        EXPECT_TRUE(delivered.empty());
+    }
+}
+
+TEST(EdgeCases, TransportOnSingleNode) {
+    const Graph g(1);
+    const BeepTransport transport(g, tiny_params(4));
+    std::vector<std::optional<Bitstring>> messages(1, Bitstring::from_string("1111"));
+    const auto round = transport.simulate_round(messages, 0);
+    EXPECT_TRUE(round.perfect);
+    EXPECT_TRUE(round.delivered[0].empty());
+}
+
+TEST(EdgeCases, TransportOnSingleEdge) {
+    const Graph g = make_path(2);
+    const BeepTransport transport(g, tiny_params(6));
+    std::vector<std::optional<Bitstring>> messages(2);
+    messages[0] = Bitstring::from_string("101010");
+    messages[1] = Bitstring::from_string("010101");
+    const auto round = transport.simulate_round(messages, 0);
+    EXPECT_TRUE(round.perfect);
+    ASSERT_EQ(round.delivered[0].size(), 1u);
+    ASSERT_EQ(round.delivered[1].size(), 1u);
+    EXPECT_EQ(round.delivered[0][0], *messages[1]);
+    EXPECT_EQ(round.delivered[1][0], *messages[0]);
+}
+
+TEST(EdgeCases, TransportOneBitMessages) {
+    const Graph g = make_ring(6);
+    const BeepTransport transport(g, tiny_params(1));
+    std::vector<std::optional<Bitstring>> messages(6);
+    for (NodeId v = 0; v < 6; ++v) {
+        Bitstring m(1);
+        if (v % 2 == 0) {
+            m.set(0);
+        }
+        messages[v] = m;
+    }
+    const auto round = transport.simulate_round(messages, 0);
+    EXPECT_TRUE(round.perfect);
+}
+
+TEST(EdgeCases, TransportMessageExactlyAtBudget) {
+    const Graph g = make_path(3);
+    const BeepTransport transport(g, tiny_params(8));
+    std::vector<std::optional<Bitstring>> messages(3);
+    messages[1] = Bitstring::from_string("11111111");  // exactly 8 bits
+    EXPECT_NO_THROW(transport.simulate_round(messages, 0));
+}
+
+TEST(EdgeCases, MatchingOnEdgelessGraphFinishesImmediately) {
+    const Graph g(7);
+    auto nodes = make_matching_nodes(g);
+    CongestParams params;
+    params.message_bits = MatchingAlgorithm::required_message_bits(7);
+    NativeBroadcastCongestEngine engine(g, params);
+    const auto stats = engine.run(nodes, matching_rounds_for_iterations(5));
+    EXPECT_TRUE(stats.all_finished);
+    for (const auto& output : collect_matching_outputs(nodes)) {
+        EXPECT_FALSE(output.partner.has_value());
+    }
+}
+
+TEST(EdgeCases, MisOnTwoNodes) {
+    const Graph g = make_path(2);
+    auto nodes = make_mis_nodes(g);
+    CongestParams params;
+    params.message_bits = MisAlgorithm::required_message_bits(2);
+    NativeBroadcastCongestEngine engine(g, params);
+    engine.run(nodes, 50);
+    const auto verdict = verify_mis(g, collect_mis_outputs(nodes));
+    EXPECT_TRUE(verdict.valid());
+    EXPECT_EQ(verdict.size, 1u);
+}
+
+TEST(EdgeCases, DistanceCodeTieReporting) {
+    // Two identical candidates force a tie: unique must be false and the
+    // canonical smaller message wins deterministically.
+    const DistanceCode code(4, 64, 1);
+    const Bitstring a = Bitstring::from_string("0101");
+    std::vector<Bitstring> candidates{a, a};
+    const auto decoded = code.decode(code.encode(a), candidates);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_FALSE(decoded->unique);
+    EXPECT_EQ(decoded->message, a);
+}
+
+TEST(EdgeCases, DistanceCodeSingleCandidate) {
+    const DistanceCode code(4, 64, 2);
+    const Bitstring a = Bitstring::from_string("1100");
+    std::vector<Bitstring> candidates{a};
+    const auto decoded = code.decode(Bitstring(64), candidates);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->message, a);
+    EXPECT_GT(decoded->runner_up, code.length());  // sentinel: no runner-up
+}
+
+TEST(EdgeCases, KautzSingletonKOne) {
+    // k=1: any prime q with q^t >= 2^a works; decoding a single codeword.
+    const KautzSingletonCode code(8, 1);
+    Bitstring heard = code.codeword(200);
+    const std::vector<std::uint64_t> dictionary{199, 200, 201};
+    EXPECT_EQ(code.decode(heard, dictionary), (std::vector<std::uint64_t>{200}));
+}
+
+TEST(EdgeCases, AdapterOnEdgelessGraph) {
+    // No neighbors: one id round, superrounds have a single empty slot.
+    const Graph g(4);
+    const LocalBroadcastInstance instance{4, {}};
+    auto nodes = make_local_broadcast_nodes(g, instance, 4);
+    const auto result = run_congest_via_broadcast(g, std::move(nodes), 4, 1, 3);
+    EXPECT_EQ(result.congest_rounds, 1u);
+    for (NodeId v = 0; v < 4; ++v) {
+        const auto& solver = dynamic_cast<const LocalBroadcastNode&>(result.inner_algorithm(v));
+        EXPECT_TRUE(solver.received().empty());
+    }
+}
+
+TEST(EdgeCases, SimEngineWithAllSilentAlgorithms) {
+    // An algorithm that finishes instantly: the simulated engine must stop
+    // without burning beep rounds.
+    class Instant final : public BroadcastCongestAlgorithm {
+    public:
+        void initialize(NodeId, const CongestInfo&, Rng&) override {}
+        std::optional<Bitstring> broadcast(std::size_t, Rng&) override { return std::nullopt; }
+        void receive(std::size_t, const std::vector<Bitstring>&, Rng&) override { done_ = true; }
+        bool finished() const override { return done_; }
+
+    private:
+        bool done_ = false;
+    };
+    const Graph g = make_ring(4);
+    std::vector<std::unique_ptr<BroadcastCongestAlgorithm>> nodes;
+    for (int i = 0; i < 4; ++i) {
+        nodes.push_back(std::make_unique<Instant>());
+    }
+    BroadcastCongestOverBeeps engine(g, tiny_params(4), CongestParams{4, 1});
+    const auto stats = engine.run(nodes, 10);
+    EXPECT_TRUE(stats.all_finished);
+    EXPECT_EQ(stats.congest_rounds, 1u);
+}
+
+TEST(EdgeCases, HardInstanceMinimalDelta) {
+    const Graph g = make_hard_instance(2, 1);  // K_{1,1}, no isolated nodes
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.max_degree(), 1u);
+    const BeepTransport transport(g, tiny_params(4));
+    std::vector<std::optional<Bitstring>> messages(2, Bitstring::from_string("1001"));
+    EXPECT_TRUE(transport.simulate_round(messages, 0).perfect);
+}
+
+}  // namespace
+}  // namespace nb

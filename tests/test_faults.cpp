@@ -1,0 +1,163 @@
+// Fault-injection tests for the transport: jammers (stuck-on transmitters)
+// and crashed (silent) nodes. The paper's model has only channel noise;
+// these tests pin down how the implementation degrades under node faults —
+// crashes must cost exactly the crashed node's messages, jammers must only
+// damage their own neighborhood.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/error.h"
+#include "congest/algorithm.h"
+#include "graph/generators.h"
+#include "sim/transport.h"
+
+namespace nb {
+namespace {
+
+std::vector<std::optional<Bitstring>> all_messages_for(const Graph& graph, std::size_t bits,
+                                                       std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::optional<Bitstring>> messages(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        messages[v] = Bitstring::random(rng, bits);
+    }
+    return messages;
+}
+
+SimulationParams params_for(double epsilon) {
+    SimulationParams params;
+    params.epsilon = epsilon;
+    params.message_bits = 10;
+    params.c_eps = 4;
+    return params;
+}
+
+TEST(Faults, EmptyFaultModelMatchesPlainRound) {
+    Rng rng(1);
+    const Graph g = make_erdos_renyi(16, 0.3, rng);
+    const BeepTransport transport(g, params_for(0.1));
+    const auto messages = all_messages_for(g, 10, 5);
+    const auto plain = transport.simulate_round(messages, 3);
+    const auto faulted = transport.simulate_round(messages, 3, FaultModel{});
+    EXPECT_EQ(plain.delivered, faulted.delivered);
+    EXPECT_EQ(plain.perfect, faulted.perfect);
+}
+
+TEST(Faults, CrashedNodeMessagesLostButRestDelivered) {
+    // Star center crashes: leaves must still deliver perfectly among
+    // themselves (they have no other neighbors, so they hear nothing), and
+    // nobody receives the center's message.
+    const Graph g = make_complete(8);
+    const BeepTransport transport(g, params_for(0.0));
+    const auto messages = all_messages_for(g, 10, 7);
+    FaultModel faults;
+    faults.crashed = {0};
+
+    const auto round = transport.simulate_round(messages, 0, faults);
+    EXPECT_TRUE(round.perfect);  // ground truth excludes the crashed node
+    EXPECT_TRUE(round.delivered[0].empty());
+    for (NodeId v = 1; v < 8; ++v) {
+        // 6 correct neighbors (everyone but self and the crashed node).
+        EXPECT_EQ(round.delivered[v].size(), 6u);
+        for (const auto& m : round.delivered[v]) {
+            EXPECT_NE(m, *messages[0]);
+        }
+    }
+}
+
+TEST(Faults, CrashIsLocalizedOnAPath) {
+    // 0-1-2-3-4 with node 2 crashed: nodes 0,1 and 3,4 must exchange
+    // perfectly; 1 and 3 simply lose one neighbor message each.
+    const Graph g = make_path(5);
+    const BeepTransport transport(g, params_for(0.0));
+    const auto messages = all_messages_for(g, 10, 9);
+    FaultModel faults;
+    faults.crashed = {2};
+
+    const auto round = transport.simulate_round(messages, 0, faults);
+    EXPECT_TRUE(round.perfect);
+    EXPECT_EQ(round.delivered[0].size(), 1u);
+    EXPECT_EQ(round.delivered[1].size(), 1u);  // only node 0's message
+    EXPECT_EQ(round.delivered[1][0], *messages[0]);
+    EXPECT_EQ(round.delivered[3].size(), 1u);
+    EXPECT_EQ(round.delivered[3][0], *messages[4]);
+}
+
+TEST(Faults, JammerDamagesOnlyItsNeighborhood) {
+    // Path 0-1-2-3-4-5 with node 0 jamming: nodes 3,4,5 are out of its
+    // range (distance >= 2 from any of 0's neighbors... node 1 is jammed,
+    // node 2's transcript picks up nothing from node 0). Deliveries beyond
+    // the jammer's neighborhood must stay exact.
+    const Graph g = make_path(6);
+    const BeepTransport transport(g, params_for(0.0));
+    const auto messages = all_messages_for(g, 10, 11);
+    FaultModel faults;
+    faults.jammers = {0};
+
+    const auto round = transport.simulate_round(messages, 0, faults);
+    // Node 1 hears all-ones: everything in its dictionary passes the
+    // threshold test — spurious accepts counted as false positives.
+    EXPECT_GT(round.phase1_false_positives, 0u);
+    // Nodes 3, 4, 5 are unaffected: their expected messages arrive.
+    const auto check_exact = [&](NodeId v, std::vector<Bitstring> expect) {
+        sort_messages(expect);
+        EXPECT_EQ(round.delivered[v], expect) << "node " << v;
+    };
+    check_exact(3, {*messages[2], *messages[4]});
+    check_exact(4, {*messages[3], *messages[5]});
+    check_exact(5, {*messages[4]});
+}
+
+TEST(Faults, JammedListenerAcceptsEverything) {
+    // A node adjacent to a jammer hears an all-ones transcript, so every
+    // dictionary codeword passes the missing-ones test: the decoder reports
+    // (rather than hides) the breakdown via false positives.
+    const Graph g = make_star(6);  // center 0
+    const BeepTransport transport(g, params_for(0.0));
+    const auto messages = all_messages_for(g, 10, 13);
+    FaultModel faults;
+    faults.jammers = {1};  // one leaf jams; center is in range
+
+    const auto round = transport.simulate_round(messages, 0, faults);
+    EXPECT_FALSE(round.perfect);
+    EXPECT_GT(round.phase1_false_positives, 0u);
+    // Other leaves (distance 2 from the jammer) hear only the center.
+    for (NodeId v = 2; v < 6; ++v) {
+        ASSERT_EQ(round.delivered[v].size(), 1u) << "leaf " << v;
+        EXPECT_EQ(round.delivered[v][0], *messages[0]);
+    }
+}
+
+TEST(Faults, ValidationRejectsBadIds) {
+    const Graph g = make_path(3);
+    const BeepTransport transport(g, params_for(0.0));
+    const auto messages = all_messages_for(g, 10, 15);
+    FaultModel out_of_range;
+    out_of_range.jammers = {5};
+    EXPECT_THROW(transport.simulate_round(messages, 0, out_of_range), precondition_error);
+    FaultModel both;
+    both.jammers = {1};
+    both.crashed = {1};
+    EXPECT_THROW(transport.simulate_round(messages, 0, both), precondition_error);
+}
+
+TEST(Faults, ManyCrashesStillDeliverAmongSurvivors) {
+    Rng rng(17);
+    const Graph g = make_erdos_renyi(24, 0.25, rng);
+    const BeepTransport transport(g, params_for(0.1));
+    const auto messages = all_messages_for(g, 10, 19);
+    FaultModel faults;
+    faults.crashed = {0, 3, 7, 11};
+
+    std::size_t perfect = 0;
+    for (std::uint64_t nonce = 0; nonce < 5; ++nonce) {
+        perfect += transport.simulate_round(messages, nonce, faults).perfect ? 1 : 0;
+    }
+    // Crashes reduce effective degree; decoding should succeed at least as
+    // often as in the fault-free noisy case.
+    EXPECT_GE(perfect, 4u);
+}
+
+}  // namespace
+}  // namespace nb

@@ -1,0 +1,101 @@
+// Tests for the lower-bound module: Local Broadcast task, hard instances,
+// and the counting bounds of Lemma 14 / Theorem 22.
+#include <gtest/gtest.h>
+
+#include "baselines/cost_models.h"
+#include "congest/native_engine.h"
+#include "graph/generators.h"
+#include "lowerbound/local_broadcast.h"
+
+namespace nb {
+namespace {
+
+TEST(LocalBroadcast, InstanceCoversAllOrderedPairs) {
+    const Graph g = make_complete_bipartite(3, 3);
+    Rng rng(1);
+    const auto instance = make_local_broadcast_instance(g, 8, rng);
+    EXPECT_EQ(instance.messages.size(), 2 * g.edge_count());
+    for (const auto& [pair, message] : instance.messages) {
+        EXPECT_TRUE(g.has_edge(pair.first, pair.second));
+        EXPECT_EQ(message.size(), 8u);
+    }
+}
+
+TEST(LocalBroadcast, SolvedNativelyInChunkedRounds) {
+    const Graph g = make_complete_bipartite(4, 4);
+    Rng rng(2);
+    const std::size_t B = 20;
+    const auto instance = make_local_broadcast_instance(g, B, rng);
+    auto nodes = make_local_broadcast_nodes(g, instance, /*chunk_bits=*/8);
+
+    NativeCongestEngine engine(g, CongestParams{8, 5});
+    const auto stats = engine.run(nodes, 10);
+    EXPECT_TRUE(stats.all_finished);
+    EXPECT_EQ(stats.rounds, 3u);  // ceil(20/8)
+    EXPECT_TRUE(verify_local_broadcast(g, instance, nodes));
+}
+
+TEST(LocalBroadcast, SingleRoundWhenBudgetFits) {
+    const Graph g = make_hard_instance(16, 3);
+    Rng rng(3);
+    const auto instance = make_local_broadcast_instance(g, 12, rng);
+    auto nodes = make_local_broadcast_nodes(g, instance, 12);
+    NativeCongestEngine engine(g, CongestParams{12, 5});
+    const auto stats = engine.run(nodes, 5);
+    EXPECT_EQ(stats.rounds, 1u);
+    EXPECT_TRUE(verify_local_broadcast(g, instance, nodes));
+}
+
+TEST(LocalBroadcast, VerifierCatchesMissingDeliveries) {
+    const Graph g = make_path(3);
+    Rng rng(4);
+    const auto instance = make_local_broadcast_instance(g, 8, rng);
+    // Nodes that never run have empty inboxes: verification must fail.
+    auto nodes = make_local_broadcast_nodes(g, instance, 8);
+    EXPECT_FALSE(verify_local_broadcast(g, instance, nodes));
+}
+
+TEST(CountingBounds, Lemma14Exponent) {
+    // T = Delta^2 * B gives exponent 0 (success prob <= 1);
+    // T = Delta^2*B/2 gives a -Delta^2*B/2 exponent (Lemma 14's statement).
+    EXPECT_DOUBLE_EQ(local_broadcast_success_log2(64, 8, 1), 0.0);
+    EXPECT_DOUBLE_EQ(local_broadcast_success_log2(32, 8, 1), -32.0);
+    EXPECT_LT(local_broadcast_success_log2(100, 16, 8), -1000.0);
+}
+
+TEST(CountingBounds, Lemma14BoundIsBelowOurUpperBound) {
+    // Sanity of the optimality claim: our simulation's cost on the hard
+    // instance is within an O(log n / B * constant) factor of the bound.
+    const std::size_t delta = 16;
+    const std::size_t B = 16;
+    const std::size_t lower = local_broadcast_lower_bound(delta, B);
+    const std::size_t upper = ours_congest_overhead(delta, B + 2 * 10 + 3, 3);
+    EXPECT_GT(upper, lower);
+}
+
+TEST(CountingBounds, Theorem22Exponent) {
+    // r = Delta*log2(n) rounds: exponent = Delta*log2(n) - 3*Delta*log2(n)
+    // = -2*Delta*log2(n), i.e. success probability n^{-2*Delta} = o(1).
+    const double exponent = matching_success_log2(16 * 10, 16, 1024);
+    EXPECT_DOUBLE_EQ(exponent, 160.0 - 480.0);
+}
+
+TEST(HardInstance, MatchesLemma14Shape) {
+    const std::size_t n = 64;
+    const std::size_t delta = 5;
+    const Graph g = make_hard_instance(n, delta);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_EQ(g.max_degree(), delta);
+    // Exactly the K_{delta,delta} nodes have degree delta; rest isolated.
+    std::size_t with_edges = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        if (g.degree(v) > 0) {
+            EXPECT_EQ(g.degree(v), delta);
+            ++with_edges;
+        }
+    }
+    EXPECT_EQ(with_edges, 2 * delta);
+}
+
+}  // namespace
+}  // namespace nb
