@@ -67,6 +67,24 @@ void BM_Phase1Accept(benchmark::State& state) {
 }
 BENCHMARK(BM_Phase1Accept);
 
+void BM_Phase1Reject(benchmark::State& state) {
+    // A candidate outside the superimposed set: the early-exit kernel stops
+    // as soon as the missing-ones count reaches the threshold, so rejection
+    // (the overwhelmingly common case in a dictionary scan) costs only a
+    // prefix of the codeword.
+    const BeepCode code(1 << 14, 256, 5);
+    const Phase1Decoder decoder(code, 0.1);
+    Bitstring heard(1 << 14);
+    for (std::uint64_t r = 0; r < 16; ++r) {
+        heard |= code.codeword(r);
+    }
+    const Bitstring candidate = code.codeword(99);  // not superimposed
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decoder.accepts_codeword(heard, candidate));
+    }
+}
+BENCHMARK(BM_Phase1Reject);
+
 void BM_DistanceDecode(benchmark::State& state) {
     const DistanceCode code(16, 512, 7);
     Rng rng(3);
@@ -121,7 +139,31 @@ void BM_TransportRound(benchmark::State& state) {
     state.counters["beep_rounds"] =
         static_cast<double>(transport.rounds_per_broadcast_round());
 }
-BENCHMARK(BM_TransportRound)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TransportRound)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TransportRoundCacheHit(benchmark::State& state) {
+    // Re-simulating one (messages, nonce) round isolates the decode path:
+    // the codebook serves codes, codewords, 1-positions, and dictionary
+    // encodings from cache (simulate_round still re-runs both phases).
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    const Graph g = make_random_regular(n, 8, rng);
+    SimulationParams params;
+    params.epsilon = 0.1;
+    params.message_bits = 12;
+    params.c_eps = 4;
+    const BeepTransport transport(g, params);
+    Rng message_rng(7);
+    std::vector<std::optional<Bitstring>> messages(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        messages[v] = Bitstring::random(message_rng, 12);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(transport.simulate_round(messages, 1));
+    }
+}
+BENCHMARK(BM_TransportRoundCacheHit)->Arg(256)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -37,6 +37,8 @@ TdmaTransport::TdmaTransport(const Graph& graph, TdmaParams params)
     require(params_.repetitions >= 1, "TdmaTransport: repetitions must be >= 1");
     colors_ = greedy_distance2_coloring(graph_);
     color_count_ = graph_.node_count() == 0 ? 0 : nb::color_count(colors_);
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::worker_count_for(params_.threads, graph_.node_count()));
 }
 
 std::size_t TdmaTransport::rounds_per_broadcast_round() const {
@@ -44,19 +46,24 @@ std::size_t TdmaTransport::rounds_per_broadcast_round() const {
     return color_count_ * (params_.message_bits + 1) * params_.repetitions;
 }
 
-TransportRound TdmaTransport::simulate_round(
-    const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce) const {
-    const std::size_t n = graph_.node_count();
-    require(messages.size() == n, "TdmaTransport::simulate_round: one message slot per node");
+std::shared_ptr<const TdmaTransport::ScheduleCache> TdmaTransport::schedules_for(
+    const std::vector<std::optional<Bitstring>>& messages) const {
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        if (cached_ != nullptr && cached_->messages == messages) {
+            return cached_;
+        }
+    }
 
+    const std::size_t n = graph_.node_count();
     const std::size_t payload_bits = params_.message_bits + 1;
     const std::size_t slot_bits = payload_bits * params_.repetitions;
     const std::size_t total_bits = rounds_per_broadcast_round();
 
     // Build beep schedules: node v transmits its payload (presence bit, then
     // message bits), each bit repeated, inside its color's slot.
-    std::vector<Bitstring> schedules;
-    schedules.reserve(n);
+    auto cache = std::make_shared<ScheduleCache>();
+    cache->schedules.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
         Bitstring schedule(total_bits);
         if (messages[v].has_value()) {
@@ -75,21 +82,42 @@ TransportRound TdmaTransport::simulate_round(
                 write_bit(1 + i, messages[v]->test(i));
             }
         }
-        schedules.push_back(std::move(schedule));
+        cache->schedules.push_back(std::move(schedule));
     }
+    cache->total_beeps = BatchEngine::total_beeps(cache->schedules);
+    cache->messages = messages;
+
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cached_ = cache;
+    return cache;
+}
+
+TransportRound TdmaTransport::simulate_round(
+    const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce) const {
+    const std::size_t n = graph_.node_count();
+    require(messages.size() == n, "TdmaTransport::simulate_round: one message slot per node");
+
+    const std::size_t payload_bits = params_.message_bits + 1;
+    const std::size_t slot_bits = payload_bits * params_.repetitions;
+
+    const std::shared_ptr<const ScheduleCache> cache = schedules_for(messages);
 
     const Rng round_rng = Rng(params_.transport_seed).derive(0x726f756eu, round_nonce);
     const BatchParams channel{ChannelParams{params_.epsilon, true}, false};
     const BatchEngine engine(graph_, channel, round_rng);
 
     TransportRound result;
-    result.beep_rounds = total_bits;
-    result.total_beeps = BatchEngine::total_beeps(schedules);
+    result.beep_rounds = rounds_per_broadcast_round();
+    result.total_beeps = cache->total_beeps;
     result.delivered.resize(n);
 
     const std::size_t majority = params_.repetitions / 2 + 1;
-    for (NodeId v = 0; v < n; ++v) {
-        const Bitstring heard = engine.hear(v, schedules);
+    std::vector<std::size_t> mismatches(n, 0);
+    std::vector<Bitstring> heard_buffers(pool_->worker_count());
+    pool_->parallel_for(n, [&](std::size_t worker, std::size_t node) {
+        const auto v = static_cast<NodeId>(node);
+        Bitstring& heard = heard_buffers[worker];
+        engine.hear_into(v, cache->schedules, heard);
         // Decode one message per neighbor from that neighbor's color slot
         // (the setup coloring tells v when each neighbor transmits).
         for (const auto u : graph_.neighbors(v)) {
@@ -126,8 +154,11 @@ TransportRound TdmaTransport::simulate_round(
         }
         sort_messages(expected);
         if (expected != result.delivered[v]) {
-            ++result.delivery_mismatches;
+            mismatches[v] = 1;
         }
+    });
+    for (const auto mismatch : mismatches) {
+        result.delivery_mismatches += mismatch;
     }
     result.perfect = result.delivery_mismatches == 0;
     return result;

@@ -18,8 +18,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "sim/transport.h"
 
@@ -30,6 +33,7 @@ struct TdmaParams {
     std::size_t message_bits = 16; ///< algorithm message budget B
     std::size_t repetitions = 1;   ///< per-bit repetitions (majority decode)
     std::uint64_t transport_seed = 0x74646d61u;
+    std::size_t threads = 0;       ///< decode workers (0 = hardware concurrency)
 
     /// Repetitions giving w.h.p. decoding for a given n and epsilon:
     /// ceil(kappa * log2 n) with kappa scaled by the noise margin.
@@ -53,10 +57,27 @@ public:
     const TdmaParams& params() const noexcept { return params_; }
 
 private:
+    /// The baseline's analogue of the Codebook round cache: TDMA schedules
+    /// depend only on the messages (slots are fixed by the coloring), so
+    /// repeated rounds with unchanged messages reuse the packed schedules
+    /// and their energy total.
+    struct ScheduleCache {
+        std::vector<Bitstring> schedules;
+        std::size_t total_beeps = 0;
+        std::vector<std::optional<Bitstring>> messages;  ///< the cache key
+    };
+
+    std::shared_ptr<const ScheduleCache> schedules_for(
+        const std::vector<std::optional<Bitstring>>& messages) const;
+
     const Graph& graph_;
     TdmaParams params_;
     std::vector<std::size_t> colors_;
     std::size_t color_count_ = 0;
+    std::unique_ptr<ThreadPool> pool_;
+
+    mutable std::mutex cache_mutex_;
+    mutable std::shared_ptr<const ScheduleCache> cached_;
 };
 
 }  // namespace nb

@@ -16,30 +16,41 @@ BatchEngine::BatchEngine(const Graph& graph, BatchParams params, Rng rng)
 
 Bitstring BatchEngine::superimpose(NodeId node, const std::vector<Bitstring>& schedules,
                                    bool include_own) const {
-    check_schedules(schedules);
-    require(node < graph_.node_count(), "BatchEngine::superimpose: node out of range");
-    const std::size_t length = schedules.empty() ? 0 : schedules.front().size();
-    Bitstring heard(length);
-    if (include_own) {
-        heard |= schedules[node];
-    }
-    for (const auto u : graph_.neighbors(node)) {
-        heard |= schedules[u];
-    }
+    Bitstring heard;
+    superimpose_into(node, schedules, heard, include_own);
     return heard;
 }
 
+void BatchEngine::superimpose_into(NodeId node, const std::vector<Bitstring>& schedules,
+                                   Bitstring& out, bool include_own) const {
+    check_schedules(schedules);
+    require(node < graph_.node_count(), "BatchEngine::superimpose: node out of range");
+    out.reset(schedules.empty() ? 0 : schedules.front().size());
+    if (include_own) {
+        out |= schedules[node];
+    }
+    for (const auto u : graph_.neighbors(node)) {
+        out |= schedules[u];
+    }
+}
+
 Bitstring BatchEngine::hear(NodeId node, const std::vector<Bitstring>& schedules) const {
-    Bitstring heard = superimpose(node, schedules, /*include_own=*/true);
+    Bitstring heard;
+    hear_into(node, schedules, heard);
+    return heard;
+}
+
+void BatchEngine::hear_into(NodeId node, const std::vector<Bitstring>& schedules,
+                            Bitstring& out) const {
+    superimpose_into(node, schedules, out, /*include_own=*/true);
     if (params_.channel.epsilon > 0.0) {
         Rng noise = rng_.derive(0x6e6f6973u, node);
         if (params_.dense_noise) {
-            heard.apply_noise_dense(noise, params_.channel.epsilon);
+            out.apply_noise_dense(noise, params_.channel.epsilon);
         } else {
-            heard.apply_noise(noise, params_.channel.epsilon);
+            out.apply_noise(noise, params_.channel.epsilon);
         }
     }
-    return heard;
 }
 
 std::vector<Bitstring> BatchEngine::hear_all(const std::vector<Bitstring>& schedules) const {

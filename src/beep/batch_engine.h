@@ -43,12 +43,24 @@ public:
     /// stream, so calls are independent of evaluation order.
     Bitstring hear(NodeId node, const std::vector<Bitstring>& schedules) const;
 
+    /// hear() into a caller-owned transcript buffer: the word-parallel OR
+    /// runs in place and no allocation happens when `out` already has the
+    /// schedule length. This is the workspace API the transports drive from
+    /// per-worker scratch buffers. Safe to call concurrently (per-node noise
+    /// streams are derived, never shared).
+    void hear_into(NodeId node, const std::vector<Bitstring>& schedules, Bitstring& out) const;
+
     /// Transcripts for all nodes (hear() applied to each node).
     std::vector<Bitstring> hear_all(const std::vector<Bitstring>& schedules) const;
 
     /// Superimposition OR_{u in N(v) (+ v)} schedules[u] with no noise: the
     /// paper's x_v before flips. Exposed for decoder analysis in tests.
     Bitstring superimpose(NodeId node, const std::vector<Bitstring>& schedules,
+                          bool include_own = true) const;
+
+    /// superimpose() into a caller-owned buffer (reset to the schedule
+    /// length, then OR-accumulated word-parallel).
+    void superimpose_into(NodeId node, const std::vector<Bitstring>& schedules, Bitstring& out,
                           bool include_own = true) const;
 
     /// Total beeps (energy) of a schedule set.

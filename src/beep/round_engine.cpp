@@ -1,5 +1,6 @@
 #include "beep/round_engine.h"
 
+#include "common/bitstring.h"
 #include "common/error.h"
 
 namespace nb {
@@ -36,17 +37,20 @@ RunStats RoundEngine::run(std::vector<std::unique_ptr<BeepAlgorithm>>& nodes,
     }
 
     RunStats stats;
-    std::vector<BeepAction> actions(n, BeepAction::listen);
+    // Actions packed one bit per node: the receive scan below reads the
+    // same word-packed representation the batch engine superimposes over
+    // (a whole round of this engine is one column of a BatchEngine run).
+    Bitstring beeps;
     for (std::size_t round = 0; round < max_rounds; ++round) {
+        beeps.reset(n);
         bool someone_active = false;
         for (NodeId v = 0; v < n; ++v) {
             if (nodes[v]->finished()) {
-                actions[v] = BeepAction::listen;
                 continue;
             }
             someone_active = true;
-            actions[v] = nodes[v]->act(round, node_rngs[v]);
-            if (actions[v] == BeepAction::beep) {
+            if (nodes[v]->act(round, node_rngs[v]) == BeepAction::beep) {
+                beeps.set(v);
                 ++stats.total_beeps;
             }
         }
@@ -56,20 +60,24 @@ RunStats RoundEngine::run(std::vector<std::unique_ptr<BeepAlgorithm>>& nodes,
         }
         ++stats.rounds;
 
+        const auto& beep_words = beeps.words();
+        const auto beeped_bit = [&beep_words](NodeId u) {
+            return (beep_words[u / 64] >> (u % 64)) & 1u;
+        };
         for (NodeId v = 0; v < n; ++v) {
             if (nodes[v]->finished()) {
                 continue;
             }
-            bool received = actions[v] == BeepAction::beep;
+            const bool beeped = beeped_bit(v) != 0;
+            bool received = beeped;
             if (!received) {
                 for (const auto u : graph_.neighbors(v)) {
-                    if (actions[u] == BeepAction::beep) {
+                    if (beeped_bit(u) != 0) {
                         received = true;
                         break;
                     }
                 }
             }
-            const bool beeped = actions[v] == BeepAction::beep;
             if (channel_.epsilon > 0.0 && (!beeped || channel_.noise_on_own_beep) &&
                 noise_rngs[v].bernoulli(channel_.epsilon)) {
                 received = !received;

@@ -30,4 +30,15 @@ std::vector<std::size_t> BeepCode::one_positions(std::uint64_t r) const {
     return generator.distinct_positions(length_, weight_);
 }
 
+std::pair<Bitstring, std::vector<std::size_t>> BeepCode::codeword_and_positions(
+    std::uint64_t r) const {
+    Rng generator = Rng(seed_).derive(0x62656570u, r);
+    std::vector<std::size_t> positions = generator.distinct_positions(length_, weight_);
+    Bitstring codeword(length_);
+    for (const auto position : positions) {
+        codeword.set(position);
+    }
+    return {std::move(codeword), std::move(positions)};
+}
+
 }  // namespace nb

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bitstring.h"
@@ -38,6 +39,12 @@ public:
     /// Sorted positions of the 1s of codeword(r) (the combined code writes
     /// the distance codeword into these positions, Notation 7).
     std::vector<std::size_t> one_positions(std::uint64_t r) const;
+
+    /// codeword(r) and one_positions(r) from a single PRNG pass. The
+    /// codebook caches both per round; generating them separately would
+    /// sample the same distinct-position set twice.
+    std::pair<Bitstring, std::vector<std::size_t>> codeword_and_positions(
+        std::uint64_t r) const;
 
     std::size_t length() const noexcept { return length_; }
     std::size_t weight() const noexcept { return weight_; }

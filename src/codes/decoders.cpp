@@ -1,5 +1,7 @@
 #include "codes/decoders.h"
 
+#include <cmath>
+
 #include "common/error.h"
 
 namespace nb {
@@ -7,6 +9,8 @@ namespace nb {
 Phase1Decoder::Phase1Decoder(const BeepCode& code, double epsilon) : code_(&code) {
     require(epsilon >= 0.0 && epsilon < 0.5, "Phase1Decoder: epsilon must be in [0, 1/2)");
     threshold_ = (2.0 * epsilon + 1.0) / 4.0 * static_cast<double>(code.weight());
+    // count >= threshold_ for an integer count iff count >= ceil(threshold_).
+    reject_limit_ = static_cast<std::size_t>(std::ceil(threshold_));
 }
 
 std::size_t Phase1Decoder::missing_ones(const Bitstring& heard, std::uint64_t r) const {
@@ -20,7 +24,7 @@ bool Phase1Decoder::accepts(const Bitstring& heard, std::uint64_t r) const {
 
 bool Phase1Decoder::accepts_codeword(const Bitstring& heard, const Bitstring& codeword) const {
     require(codeword.size() == code_->length(), "Phase1Decoder: wrong codeword length");
-    return static_cast<double>(codeword.and_not_count(heard)) < threshold_;
+    return codeword.and_not_count_below(heard, reject_limit_);
 }
 
 std::vector<std::uint64_t> Phase1Decoder::decode(

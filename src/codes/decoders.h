@@ -34,6 +34,12 @@ public:
     /// Number of missing 1s strictly below which a candidate is accepted.
     double threshold() const noexcept { return threshold_; }
 
+    /// The acceptance test as an integer bound: a candidate is accepted iff
+    /// its missing-ones count is < reject_limit() (= ceil(threshold), since
+    /// counts are integers). This is the early-exit limit for the packed
+    /// kernel Bitstring::and_not_count_below.
+    std::size_t reject_limit() const noexcept { return reject_limit_; }
+
     /// Missing-ones count 1(C(r) AND NOT heard) for a single candidate.
     std::size_t missing_ones(const Bitstring& heard, std::uint64_t r) const;
 
@@ -52,6 +58,7 @@ public:
 private:
     const BeepCode* code_;
     double threshold_;
+    std::size_t reject_limit_;
 };
 
 }  // namespace nb

@@ -27,32 +27,59 @@ Bitstring DistanceCode::encode(const Bitstring& message) const {
     return Bitstring::random(generator, length_);
 }
 
+namespace {
+
+/// One step of the nearest-codeword scan shared by decode() and
+/// decode_cached(): fold `candidate` at `distance` into the running best.
+void consider_candidate(std::optional<DistanceCode::Decoded>& best, const Bitstring& candidate,
+                        std::size_t distance, std::size_t code_length) {
+    if (!best.has_value()) {
+        best = DistanceCode::Decoded{candidate, distance, distance, true};
+        // runner_up is undefined until a second candidate arrives; track
+        // it as the best distance among non-winning candidates below.
+        best->runner_up = code_length + 1;
+        return;
+    }
+    if (distance < best->distance ||
+        (distance == best->distance && message_less(candidate, best->message))) {
+        const bool tied = distance == best->distance;
+        best->runner_up = best->distance;
+        best->message = candidate;
+        best->distance = distance;
+        best->unique = !tied;
+    } else {
+        if (distance == best->distance) {
+            best->unique = false;
+        }
+        best->runner_up = std::min(best->runner_up, distance);
+    }
+}
+
+}  // namespace
+
 std::optional<DistanceCode::Decoded> DistanceCode::decode(
     const Bitstring& received, std::span<const Bitstring> candidates) const {
     require(received.size() == length_, "DistanceCode::decode: received has the wrong length");
     std::optional<Decoded> best;
     for (const auto& candidate : candidates) {
-        const std::size_t distance = encode(candidate).hamming_distance(received);
-        if (!best.has_value()) {
-            best = Decoded{candidate, distance, distance, true};
-            // runner_up is undefined until a second candidate arrives; track
-            // it as the best distance among non-winning candidates below.
-            best->runner_up = length_ + 1;
-            continue;
-        }
-        if (distance < best->distance ||
-            (distance == best->distance && message_less(candidate, best->message))) {
-            const bool tied = distance == best->distance;
-            best->runner_up = best->distance;
-            best->message = candidate;
-            best->distance = distance;
-            best->unique = !tied;
-        } else {
-            if (distance == best->distance) {
-                best->unique = false;
-            }
-            best->runner_up = std::min(best->runner_up, distance);
-        }
+        consider_candidate(best, candidate, encode(candidate).hamming_distance(received),
+                           length_);
+    }
+    return best;
+}
+
+std::optional<DistanceCode::Decoded> DistanceCode::decode_cached(
+    const Bitstring& received, std::span<const Bitstring> messages,
+    std::span<const Bitstring> encoded, std::span<const std::uint32_t> entries) const {
+    require(received.size() == length_,
+            "DistanceCode::decode_cached: received has the wrong length");
+    require(encoded.size() == messages.size(),
+            "DistanceCode::decode_cached: one encoding per candidate message");
+    std::optional<Decoded> best;
+    for (const auto entry : entries) {
+        require(entry < messages.size(), "DistanceCode::decode_cached: entry out of range");
+        consider_candidate(best, messages[entry], encoded[entry].hamming_distance(received),
+                           length_);
     }
     return best;
 }

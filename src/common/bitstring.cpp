@@ -1,6 +1,7 @@
 #include "common/bitstring.h"
 
 #include <bit>
+#include <cmath>
 
 #include "common/error.h"
 
@@ -94,6 +95,18 @@ std::size_t Bitstring::and_not_count(const Bitstring& other) const {
     return total;
 }
 
+bool Bitstring::and_not_count_below(const Bitstring& other, std::size_t limit) const {
+    check_same_size(other, "and_not_count_below");
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        total += static_cast<std::size_t>(std::popcount(words_[w] & ~other.words_[w]));
+        if (total >= limit) {
+            return false;
+        }
+    }
+    return total < limit;
+}
+
 std::size_t Bitstring::hamming_distance(const Bitstring& other) const {
     check_same_size(other, "hamming_distance");
     std::size_t total = 0;
@@ -147,15 +160,33 @@ std::vector<std::size_t> Bitstring::one_positions() const {
     return positions;
 }
 
+void Bitstring::reset(std::size_t size) {
+    size_ = size;
+    words_.assign(word_count_for(size), 0);
+}
+
 Bitstring Bitstring::gather(const std::vector<std::size_t>& positions) const {
-    Bitstring result(positions.size());
+    Bitstring result;
+    gather_into(positions, result);
+    return result;
+}
+
+void Bitstring::gather_into(std::span<const std::size_t> positions, Bitstring& out) const {
+    out.reset(positions.size());
+    std::uint64_t acc = 0;
     for (std::size_t i = 0; i < positions.size(); ++i) {
-        require(positions[i] < size_, "Bitstring::gather: position out of range");
-        if (test(positions[i])) {
-            result.set(i);
+        const std::size_t p = positions[i];
+        require(p < size_, "Bitstring::gather: position out of range");
+        acc |= ((words_[p / bits_per_word] >> (p % bits_per_word)) & 1u)
+               << (i % bits_per_word);
+        if (i % bits_per_word == bits_per_word - 1) {
+            out.words_[i / bits_per_word] = acc;
+            acc = 0;
         }
     }
-    return result;
+    if (positions.size() % bits_per_word != 0) {
+        out.words_.back() = acc;
+    }
 }
 
 Bitstring Bitstring::scatter(std::size_t size, const std::vector<std::size_t>& positions,
@@ -179,9 +210,11 @@ void Bitstring::apply_noise(Rng& rng, double epsilon) {
     }
     // Walk the geometric gaps between flipped positions; this is an exact
     // sample of the i.i.d. Bernoulli(epsilon) flip process in O(#flips).
+    // The skip denominator is a loop invariant — hoist the logarithm.
+    const double log1p_neg_eps = std::log1p(-epsilon);
     std::size_t position = 0;
     while (true) {
-        const std::uint64_t skip = rng.geometric_skip(epsilon);
+        const std::uint64_t skip = rng.geometric_skip_with(log1p_neg_eps);
         if (skip >= size_ || position + skip >= size_) {
             break;
         }
@@ -229,8 +262,9 @@ std::uint64_t Bitstring::hash() const noexcept {
 }
 
 void Bitstring::check_same_size(const Bitstring& other, const char* operation) const {
-    require(size_ == other.size_,
-            std::string("Bitstring::") + operation + ": size mismatch");
+    if (size_ != other.size_) {
+        throw precondition_error(std::string("Bitstring::") + operation + ": size mismatch");
+    }
 }
 
 void Bitstring::clear_padding() noexcept {

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,13 @@ public:
     /// complement" used throughout Lemmas 8-10. Precondition: sizes match.
     std::size_t and_not_count(const Bitstring& other) const;
 
+    /// True iff 1(this AND NOT other) < limit — the Lemma 9 acceptance test
+    /// as a packed-word kernel: popcounts of this & ~other accumulate word
+    /// by word and the scan exits as soon as the running count reaches
+    /// `limit`, so rejected candidates (the common case in a dictionary
+    /// scan) cost only a prefix of the string. Precondition: sizes match.
+    bool and_not_count_below(const Bitstring& other, std::size_t limit) const;
+
     /// Hamming distance d_H(this, other). Precondition: sizes match.
     std::size_t hamming_distance(const Bitstring& other) const;
 
@@ -102,10 +110,19 @@ public:
         }
     }
 
+    /// Reset to an all-zero string of `size` bits, reusing word storage.
+    void reset(std::size_t size);
+
     /// Gather the bits of this string at the given positions, in order:
     /// result[i] = this[positions[i]]. Used to extract the subsequence
     /// y_{v,w} at the 1-positions of C(r_w) (Section 4, Lemma 10).
     Bitstring gather(const std::vector<std::size_t>& positions) const;
+
+    /// gather() into a caller-owned result (resized to positions.size()),
+    /// assembling output words in a register instead of per-bit writes; the
+    /// transports use this with per-worker scratch strings so the phase-2
+    /// hot loop performs no allocation.
+    void gather_into(std::span<const std::size_t> positions, Bitstring& out) const;
 
     /// Scatter `values` into a fresh string of this size at `positions`:
     /// result[positions[i]] = values[i], other bits 0. This implements the

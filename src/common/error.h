@@ -23,6 +23,15 @@ public:
 };
 
 /// Check a precondition; throws precondition_error with `what` on failure.
+/// The const char* overload matters: nearly every caller passes a string
+/// literal, and materializing a std::string argument unconditionally puts a
+/// heap allocation on hot paths that only need it when the check fails.
+inline void require(bool condition, const char* what) {
+    if (!condition) {
+        throw precondition_error(what);
+    }
+}
+
 inline void require(bool condition, const std::string& what) {
     if (!condition) {
         throw precondition_error(what);
@@ -30,6 +39,12 @@ inline void require(bool condition, const std::string& what) {
 }
 
 /// Check an internal invariant; throws invariant_error with `what` on failure.
+inline void ensure(bool condition, const char* what) {
+    if (!condition) {
+        throw invariant_error(what);
+    }
+}
+
 inline void ensure(bool condition, const std::string& what) {
     if (!condition) {
         throw invariant_error(what);

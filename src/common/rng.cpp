@@ -90,12 +90,16 @@ std::uint64_t Rng::geometric_skip(double p) {
     if (p >= 1.0) {
         return 0;
     }
+    return geometric_skip_with(std::log1p(-p));
+}
+
+std::uint64_t Rng::geometric_skip_with(double log1p_neg_p) noexcept {
     // Inverse-CDF sampling: floor(log(U) / log(1 - p)) with U in (0, 1].
     double u = next_double();
     if (u <= 0.0) {
         u = 0x1.0p-53;
     }
-    const double skip = std::floor(std::log(u) / std::log1p(-p));
+    const double skip = std::floor(std::log(u) / log1p_neg_p);
     if (skip >= 9.2e18) {
         return UINT64_MAX;
     }

@@ -47,6 +47,11 @@ public:
     /// Precondition: 0 < p <= 1.
     std::uint64_t geometric_skip(double p);
 
+    /// geometric_skip(p) with the denominator log1p(-p) precomputed by the
+    /// caller. Hot loops drawing many skips at one p hoist the logarithm;
+    /// draws and arithmetic are identical to geometric_skip(p).
+    std::uint64_t geometric_skip_with(double log1p_neg_p) noexcept;
+
     /// `count` distinct positions sampled uniformly from [0, universe),
     /// returned sorted ascending (Floyd's algorithm).
     /// Precondition: count <= universe.

@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace nb {
+
+struct ThreadPool::Impl {
+    explicit Impl(std::size_t helper_count) {
+        helpers.reserve(helper_count);
+        for (std::size_t i = 0; i < helper_count; ++i) {
+            // Worker id 0 is the calling thread; helpers are 1-based.
+            helpers.emplace_back([this, worker = i + 1] { helper_loop(worker); });
+        }
+    }
+
+    ~Impl() {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        work_ready.notify_all();
+        for (auto& helper : helpers) {
+            helper.join();
+        }
+    }
+
+    void run(std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
+        // One job at a time: concurrent parallel_for callers (e.g. two
+        // threads sharing one transport) queue here instead of clobbering
+        // each other's job state.
+        std::lock_guard<std::mutex> run_lock(run_mutex);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            job_fn = &fn;
+            job_count = count;
+            next_index.store(0, std::memory_order_relaxed);
+            active_helpers = helpers.size();
+            error = nullptr;
+            ++generation;
+        }
+        work_ready.notify_all();
+        work_chunks(0);
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            job_done.wait(lock, [this] { return active_helpers == 0; });
+            job_fn = nullptr;
+            if (error != nullptr) {
+                std::rethrow_exception(error);
+            }
+        }
+    }
+
+    void work_chunks(std::size_t worker) {
+        // Claim small chunks so uneven per-index costs still balance while
+        // keeping atomic traffic low.
+        const std::size_t total_workers = helpers.size() + 1;
+        const std::size_t chunk =
+            std::max<std::size_t>(1, job_count / (8 * total_workers));
+        while (true) {
+            const std::size_t begin = next_index.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= job_count) {
+                return;
+            }
+            const std::size_t end = std::min(begin + chunk, job_count);
+            try {
+                for (std::size_t index = begin; index < end; ++index) {
+                    (*job_fn)(worker, index);
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (error == nullptr) {
+                    error = std::current_exception();
+                }
+                // Drain the remaining indices so the job still terminates.
+                next_index.store(job_count, std::memory_order_relaxed);
+                return;
+            }
+        }
+    }
+
+    void helper_loop(std::size_t worker) {
+        std::uint64_t seen_generation = 0;
+        while (true) {
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                work_ready.wait(lock, [this, seen_generation] {
+                    return stopping || generation != seen_generation;
+                });
+                if (stopping) {
+                    return;
+                }
+                seen_generation = generation;
+            }
+            work_chunks(worker);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                --active_helpers;
+            }
+            job_done.notify_one();
+        }
+    }
+
+    std::vector<std::thread> helpers;
+    std::mutex run_mutex;  ///< serializes whole jobs
+    std::mutex mutex;      ///< guards the per-job state below
+    std::condition_variable work_ready;
+    std::condition_variable job_done;
+    const std::function<void(std::size_t, std::size_t)>* job_fn = nullptr;
+    std::size_t job_count = 0;
+    std::atomic<std::size_t> next_index{0};
+    std::size_t active_helpers = 0;
+    std::uint64_t generation = 0;
+    std::exception_ptr error;
+    bool stopping = false;
+};
+
+std::size_t ThreadPool::resolve_worker_count(std::size_t requested) noexcept {
+    if (requested != 0) {
+        return requested;
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+}
+
+std::size_t ThreadPool::worker_count_for(std::size_t requested, std::size_t items) noexcept {
+    return std::min(resolve_worker_count(requested), std::max<std::size_t>(1, items));
+}
+
+ThreadPool::ThreadPool(std::size_t worker_count)
+    : worker_count_(resolve_worker_count(worker_count)) {
+    if (worker_count_ > 1) {
+        impl_ = std::make_unique<Impl>(worker_count_ - 1);
+    }
+}
+
+ThreadPool::~ThreadPool() = default;
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+    require(static_cast<bool>(fn), "ThreadPool::parallel_for: empty function");
+    if (count == 0) {
+        return;
+    }
+    if (impl_ == nullptr || count == 1) {
+        for (std::size_t index = 0; index < count; ++index) {
+            fn(0, index);
+        }
+        return;
+    }
+    impl_->run(count, fn);
+}
+
+}  // namespace nb

@@ -1,0 +1,58 @@
+// Minimal fixed-size worker pool for fanning independent per-node work out
+// of the simulation hot loops (see DESIGN.md section 2).
+//
+// The pool is built once (per transport) and reused across rounds: workers
+// persist, and each parallel_for distributes an index range over them in
+// chunks claimed from an atomic cursor. Callers that need per-worker scratch
+// state receive a stable worker id in [0, worker_count()), so reusable
+// workspaces can be preallocated one per worker and never contended.
+//
+// Determinism contract: parallel_for imposes no ordering between indices, so
+// callers must write results only to per-index (or per-worker, merged
+// afterwards in a fixed order) slots. All users in this library follow that
+// discipline, which keeps simulation outputs bit-identical for any worker
+// count — tested by the transport equivalence suite.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace nb {
+
+class ThreadPool {
+public:
+    /// A pool with `worker_count` workers; 0 means hardware concurrency.
+    /// With one worker no threads are spawned and all work runs inline.
+    explicit ThreadPool(std::size_t worker_count = 0);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool();
+
+    std::size_t worker_count() const noexcept { return worker_count_; }
+
+    /// Run fn(worker, index) for every index in [0, count), distributed over
+    /// the workers (the calling thread participates). Blocks until all
+    /// indices complete; the first exception thrown by fn is rethrown.
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /// The worker count `requested` resolves to: itself if nonzero, else
+    /// hardware concurrency (at least 1).
+    static std::size_t resolve_worker_count(std::size_t requested) noexcept;
+
+    /// resolve_worker_count(requested) capped at max(1, items): the sizing
+    /// policy for a pool whose jobs fan out over `items` units of work, so
+    /// tiny inputs never spawn idle workers.
+    static std::size_t worker_count_for(std::size_t requested, std::size_t items) noexcept;
+
+private:
+    struct Impl;
+
+    std::size_t worker_count_ = 1;
+    std::unique_ptr<Impl> impl_;  ///< null when worker_count_ == 1
+};
+
+}  // namespace nb

@@ -1,0 +1,187 @@
+#include "sim/codebook.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace nb {
+
+namespace {
+
+/// Pad/flag an optional algorithm message into a transport payload:
+/// bit 0 = presence, bits 1..message_bits = the message (zero-padded).
+Bitstring make_payload(const std::optional<Bitstring>& message, std::size_t message_bits) {
+    Bitstring payload(message_bits + 1);
+    if (message.has_value()) {
+        require(message->size() <= message_bits,
+                "BeepTransport: message exceeds the bit budget");
+        payload.set(0);
+        message->for_each_one([&payload](std::size_t i) { payload.set(1 + i); });
+    }
+    return payload;
+}
+
+}  // namespace
+
+Codebook::Codebook(const Graph& graph, const SimulationParams& params)
+    : graph_(graph),
+      params_(params),
+      combined_(BeepCode(params.beep_code_length(graph.max_degree()),
+                         params.distance_code_length(), params.code_seed),
+                DistanceCode(params.payload_bits(), params.distance_code_length(),
+                             mix64(params.code_seed ^ 0x64636f64u))) {
+    params_.validate();
+    stats_.code_builds = 1;
+
+    const std::size_t n = graph_.node_count();
+    const auto n32 = static_cast<std::uint32_t>(n);
+    // Dictionary-order tail shared by every node: null payload, then decoys.
+    std::vector<std::uint32_t> tail;
+    tail.reserve(1 + params_.decoy_count);
+    tail.push_back(n32);
+    for (std::size_t i = 0; i < params_.decoy_count; ++i) {
+        tail.push_back(n32 + 1 + static_cast<std::uint32_t>(i));
+    }
+
+    if (params_.dictionary == DictionaryPolicy::two_hop) {
+        per_node_entries_.resize(n);
+        for (NodeId v = 0; v < n; ++v) {
+            std::unordered_set<NodeId> reachable;
+            for (const auto u : graph_.neighbors(v)) {
+                reachable.insert(u);
+                for (const auto w : graph_.neighbors(u)) {
+                    if (w != v) {
+                        reachable.insert(w);
+                    }
+                }
+            }
+            auto& entries = per_node_entries_[v];
+            entries.assign(reachable.begin(), reachable.end());
+            std::sort(entries.begin(), entries.end());
+            entries.insert(entries.end(), tail.begin(), tail.end());
+        }
+    } else {
+        shared_entries_.reserve(n + tail.size());
+        for (NodeId u = 0; u < n; ++u) {
+            shared_entries_.push_back(u);
+        }
+        shared_entries_.insert(shared_entries_.end(), tail.begin(), tail.end());
+    }
+}
+
+std::span<const std::uint32_t> Codebook::candidate_entries(NodeId v) const {
+    require(v < graph_.node_count(), "Codebook::candidate_entries: node out of range");
+    if (params_.dictionary == DictionaryPolicy::two_hop) {
+        return per_node_entries_[v];
+    }
+    return shared_entries_;
+}
+
+std::size_t Codebook::node_candidate_count(NodeId v) const {
+    return candidate_entries(v).size() - 1 - params_.decoy_count;
+}
+
+std::shared_ptr<const Codebook::Round> Codebook::round(
+    const std::vector<std::optional<Bitstring>>& messages, std::uint64_t nonce) const {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (cached_ != nullptr && cached_->nonce == nonce && cached_->messages == messages) {
+            return cached_;
+        }
+    }
+    // Build outside the lock: rebuilds are the expensive path and concurrent
+    // callers with distinct keys must not serialize on each other.
+    std::shared_ptr<const Round> fresh = build_round(messages, nonce);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cached_ = fresh;
+        ++stats_.round_builds;
+        stats_.codeword_builds += fresh->codewords.size() + fresh->decoy_codewords.size();
+        stats_.payload_encodes += fresh->candidate_encoded.size();
+    }
+    return fresh;
+}
+
+std::shared_ptr<Codebook::Round> Codebook::build_round(
+    const std::vector<std::optional<Bitstring>>& messages, std::uint64_t nonce) const {
+    const std::size_t n = graph_.node_count();
+    require(messages.size() == n, "BeepTransport::simulate_round: one message slot per node");
+
+    auto round = std::make_shared<Round>();
+    round->nonce = nonce;
+    round->rng = Rng(params_.transport_seed).derive(0x726f756eu, nonce);
+
+    const std::size_t payload_bits = params_.payload_bits();
+    const BeepCode& beep = beep_code();
+    const DistanceCode& distance = distance_code();
+
+    // Per-node payloads and fresh inputs r_v.
+    round->inputs.resize(n);
+    round->payloads.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        round->payloads.push_back(make_payload(messages[v], params_.message_bits));
+        round->inputs[v] = round->rng.derive(0x7069636bu, v).next_u64();
+    }
+
+    // Decoys: inputs and payloads drawn independently of everything heard.
+    std::vector<Bitstring> decoy_payloads;
+    round->decoy_inputs.resize(params_.decoy_count);
+    decoy_payloads.reserve(params_.decoy_count);
+    for (std::size_t i = 0; i < params_.decoy_count; ++i) {
+        Rng decoy_rng = round->rng.derive(0x6465636fu, i);
+        round->decoy_inputs[i] = decoy_rng.next_u64();
+        decoy_payloads.push_back(Bitstring::random(decoy_rng, payload_bits));
+    }
+
+    // Codewords C(r) with their 1-positions, for nodes and decoys alike,
+    // each pair generated in one PRNG pass.
+    round->codewords.reserve(n);
+    round->one_positions.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        auto [codeword, positions] = beep.codeword_and_positions(round->inputs[v]);
+        round->codewords.push_back(std::move(codeword));
+        round->one_positions.push_back(std::move(positions));
+    }
+    round->decoy_codewords.reserve(params_.decoy_count);
+    round->decoy_one_positions.reserve(params_.decoy_count);
+    for (const auto r : round->decoy_inputs) {
+        auto [codeword, positions] = beep.codeword_and_positions(r);
+        round->decoy_codewords.push_back(std::move(codeword));
+        round->decoy_one_positions.push_back(std::move(positions));
+    }
+
+    // Phase-2 candidate dictionary over the entry space, encoded once.
+    round->candidate_messages.reserve(n + 1 + params_.decoy_count);
+    for (NodeId v = 0; v < n; ++v) {
+        round->candidate_messages.push_back(round->payloads[v]);
+    }
+    round->candidate_messages.push_back(Bitstring(payload_bits));  // the null payload
+    for (auto& decoy : decoy_payloads) {
+        round->candidate_messages.push_back(std::move(decoy));
+    }
+    round->candidate_encoded.reserve(round->candidate_messages.size());
+    for (const auto& candidate : round->candidate_messages) {
+        round->candidate_encoded.push_back(distance.encode(candidate));
+    }
+
+    // Fault-free phase-2 schedules CD(r_v, payload_v): D(payload_v) is
+    // already in the dictionary, so only the scatter remains.
+    round->combined_schedules.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        round->combined_schedules.push_back(Bitstring::scatter(
+            beep.length(), round->one_positions[v], round->candidate_encoded[v]));
+        round->phase2_beeps += round->combined_schedules.back().count();
+    }
+    round->phase1_beeps = n * beep.weight();
+
+    round->messages = messages;
+    return round;
+}
+
+Codebook::Stats Codebook::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace nb

@@ -1,0 +1,131 @@
+// Once-per-transport cache of Algorithm 1's codes, candidate dictionaries,
+// and per-round derived state (see DESIGN.md section 2).
+//
+// The paper's codes C, D and CD are public and fixed: a transport's decoders
+// use the same three code objects for every simulated round, and every
+// decoding node scans the same candidate dictionary. Before this layer
+// existed, simulate_round rebuilt all of it — codes, all n codewords, their
+// 1-position lists, and every candidate's distance-code encoding — from
+// scratch on every call (and the encodings once per decoding node per
+// accepted sender). The Codebook splits that state by lifetime:
+//
+//   * per transport (built exactly once, in the constructor): the
+//     BeepCode/DistanceCode/CombinedCode triple and the per-node candidate
+//     entry lists for the configured DictionaryPolicy;
+//   * per round (rebuilt only when the (messages, nonce) key changes): the
+//     fresh inputs r_v, payloads, codewords C(r_v) with cached 1-positions,
+//     fault-free phase schedules, decoy material, and the phase-2 candidate
+//     dictionary with all distance-code encodings precomputed. The node
+//     payloads and their encodings depend only on `messages`, so a
+//     fixed-messages nonce sweep re-encodes them each round; they are a
+//     small slice of the build (the codeword sampling dominates), which is
+//     why the cache uses one key instead of separate messages/nonce layers.
+//
+// Rounds are handed out as shared_ptr<const Round>: simulate_round keeps its
+// round alive for the duration of the call, so concurrent callers with
+// different (messages, nonce) keys never invalidate each other (they only
+// thrash the single-entry cache). Construction counters are exposed via
+// stats() so tests can assert the once-per-transport contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "codes/combined_code.h"
+#include "common/bitstring.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sim/params.h"
+
+namespace nb {
+
+class Codebook {
+public:
+    /// Builds the code triple and candidate entry lists once. The graph must
+    /// outlive the codebook.
+    Codebook(const Graph& graph, const SimulationParams& params);
+
+    const BeepCode& beep_code() const noexcept { return combined_.beep(); }
+    const DistanceCode& distance_code() const noexcept { return combined_.distance(); }
+    const CombinedCode& combined_code() const noexcept { return combined_; }
+
+    /// Beep-code length b for this graph's maximum degree.
+    std::size_t beep_length() const noexcept { return combined_.length(); }
+
+    /// Everything one round derives from (messages, nonce). Candidate arrays
+    /// are indexed by "entry": entries 0..n-1 are the nodes' payloads, entry
+    /// n is the null payload, entries n+1.. are the decoys.
+    struct Round {
+        std::vector<std::uint64_t> inputs;    ///< r_v
+        std::vector<Bitstring> payloads;      ///< presence-bit-packed payloads
+        std::vector<Bitstring> codewords;     ///< C(r_v)
+        std::vector<std::vector<std::size_t>> one_positions;  ///< of C(r_v)
+
+        std::vector<std::uint64_t> decoy_inputs;
+        std::vector<Bitstring> decoy_codewords;
+        std::vector<std::vector<std::size_t>> decoy_one_positions;
+
+        /// Phase-2 dictionary over the entry space (size n + 1 + decoys):
+        /// candidate messages and their cached distance-code encodings.
+        std::vector<Bitstring> candidate_messages;
+        std::vector<Bitstring> candidate_encoded;
+
+        /// Fault-free phase-2 schedules CD(r_v, payload_v) and the fault-free
+        /// energy totals (phase 1 beeps the codewords themselves).
+        std::vector<Bitstring> combined_schedules;
+        std::size_t phase1_beeps = 0;
+        std::size_t phase2_beeps = 0;
+
+        Rng rng;  ///< the round rng all per-round streams derive from
+
+        std::uint64_t nonce = 0;
+        std::vector<std::optional<Bitstring>> messages;  ///< the cache key
+    };
+
+    /// The cached round for (messages, nonce), rebuilt only when the key
+    /// differs from the previously returned one. Thread-safe.
+    std::shared_ptr<const Round> round(const std::vector<std::optional<Bitstring>>& messages,
+                                       std::uint64_t nonce) const;
+
+    /// Candidate entries node v's decoder scans, in dictionary order: the
+    /// candidate node ids (sorted two-hop set or all nodes, per the policy),
+    /// then the null payload, then the decoys. The node-id prefix has length
+    /// node_candidate_count(v).
+    std::span<const std::uint32_t> candidate_entries(NodeId v) const;
+    std::size_t node_candidate_count(NodeId v) const;
+
+    std::size_t decoy_count() const noexcept { return params_.decoy_count; }
+    const SimulationParams& params() const noexcept { return params_; }
+    const Graph& graph() const noexcept { return graph_; }
+
+    /// Construction counters for the once-per-transport contract.
+    struct Stats {
+        std::size_t code_builds = 0;      ///< code-triple constructions (always 1)
+        std::size_t round_builds = 0;     ///< distinct (messages, nonce) rebuilds
+        std::size_t codeword_builds = 0;  ///< beep codewords generated in total
+        std::size_t payload_encodes = 0;  ///< distance-code encodings generated
+    };
+    Stats stats() const;
+
+private:
+    std::shared_ptr<Round> build_round(const std::vector<std::optional<Bitstring>>& messages,
+                                       std::uint64_t nonce) const;
+
+    const Graph& graph_;
+    SimulationParams params_;
+    CombinedCode combined_;
+
+    /// candidate_entries(v): per node for two_hop, one shared list otherwise.
+    std::vector<std::vector<std::uint32_t>> per_node_entries_;
+    std::vector<std::uint32_t> shared_entries_;
+
+    mutable std::mutex mutex_;
+    mutable std::shared_ptr<const Round> cached_;
+    mutable Stats stats_;
+};
+
+}  // namespace nb

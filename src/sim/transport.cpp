@@ -1,7 +1,6 @@
 #include "sim/transport.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "beep/batch_engine.h"
 #include "common/error.h"
@@ -11,20 +10,8 @@ namespace nb {
 
 namespace {
 
-/// Pad/flag an optional algorithm message into a transport payload:
-/// bit 0 = presence, bits 1..message_bits = the message (zero-padded).
-Bitstring make_payload(const std::optional<Bitstring>& message, std::size_t message_bits) {
-    Bitstring payload(message_bits + 1);
-    if (message.has_value()) {
-        require(message->size() <= message_bits,
-                "BeepTransport: message exceeds the bit budget");
-        payload.set(0);
-        message->for_each_one([&payload](std::size_t i) { payload.set(1 + i); });
-    }
-    return payload;
-}
-
-/// Inverse of make_payload for a decoded payload with presence bit set.
+/// Inverse of the codebook's payload packing for a decoded payload with the
+/// presence bit set: drop bit 0, shift the message bits down by one.
 Bitstring extract_message(const Bitstring& payload) {
     Bitstring message(payload.size() - 1);
     for (std::size_t i = 1; i < payload.size(); ++i) {
@@ -35,27 +22,35 @@ Bitstring extract_message(const Bitstring& payload) {
     return message;
 }
 
+enum class NodeState : unsigned char { correct, jammer, crashed };
+
+/// Per-node diagnostic deltas, reduced into TransportRound in node order
+/// after the parallel loop so totals are independent of thread schedule.
+struct NodeDiagnostics {
+    std::size_t phase1_false_negatives = 0;
+    std::size_t phase1_false_positives = 0;
+    std::size_t phase2_errors = 0;
+    std::size_t delivery_mismatches = 0;
+};
+
+/// Reusable per-worker scratch: transcript/gather buffers and acceptance
+/// lists, so the node loop allocates nothing once warm.
+struct DecodeWorkspace {
+    Bitstring heard1;
+    Bitstring heard2;
+    Bitstring gathered;
+    std::vector<NodeId> accepted_nodes;
+    std::vector<std::size_t> accepted_decoys;
+};
+
 }  // namespace
 
 BeepTransport::BeepTransport(const Graph& graph, SimulationParams params)
     : graph_(graph), params_(params) {
     params_.validate();
-    if (params_.dictionary == DictionaryPolicy::two_hop) {
-        two_hop_.resize(graph_.node_count());
-        for (NodeId v = 0; v < graph_.node_count(); ++v) {
-            std::unordered_set<NodeId> reachable;
-            for (const auto u : graph_.neighbors(v)) {
-                reachable.insert(u);
-                for (const auto w : graph_.neighbors(u)) {
-                    if (w != v) {
-                        reachable.insert(w);
-                    }
-                }
-            }
-            two_hop_[v].assign(reachable.begin(), reachable.end());
-            std::sort(two_hop_[v].begin(), two_hop_[v].end());
-        }
-    }
+    codebook_ = std::make_unique<Codebook>(graph_, params_);
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::worker_count_for(params_.threads, graph_.node_count()));
 }
 
 std::size_t BeepTransport::rounds_per_broadcast_round() const {
@@ -73,7 +68,6 @@ TransportRound BeepTransport::simulate_round(
     const std::size_t n = graph_.node_count();
     require(messages.size() == n, "BeepTransport::simulate_round: one message slot per node");
 
-    enum class NodeState : unsigned char { correct, jammer, crashed };
     std::vector<NodeState> state(n, NodeState::correct);
     for (const auto v : faults.jammers) {
         require(v < n, "BeepTransport: jammer id out of range");
@@ -85,126 +79,82 @@ TransportRound BeepTransport::simulate_round(
         state[v] = NodeState::crashed;
     }
 
-    const std::size_t delta = graph_.max_degree();
-    const std::size_t payload_bits = params_.payload_bits();
-    const std::size_t weight = params_.distance_code_length();
-    const std::size_t b = params_.beep_code_length(delta);
+    const std::size_t b = codebook_->beep_length();
+    const std::shared_ptr<const Codebook::Round> round = codebook_->round(messages, round_nonce);
 
-    // Public codes, fixed across rounds.
-    const BeepCode beep_code(b, weight, params_.code_seed);
-    const DistanceCode distance_code(payload_bits, weight, mix64(params_.code_seed ^ 0x64636f64u));
-    const CombinedCode combined(beep_code, distance_code);
-
-    // Fresh per-round randomness.
-    const Rng round_rng = Rng(params_.transport_seed).derive(0x726f756eu, round_nonce);
-
-    // Per-node payloads and inputs r_v.
-    std::vector<Bitstring> payloads;
-    std::vector<std::uint64_t> inputs(n);
-    payloads.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
-        payloads.push_back(make_payload(messages[v], params_.message_bits));
-        inputs[v] = round_rng.derive(0x7069636bu, v).next_u64();
-    }
-
-    // Decoys: inputs and payloads drawn independently of everything heard.
-    std::vector<std::uint64_t> decoy_inputs(params_.decoy_count);
-    std::vector<Bitstring> decoy_payloads;
-    decoy_payloads.reserve(params_.decoy_count);
-    for (std::size_t i = 0; i < params_.decoy_count; ++i) {
-        Rng decoy_rng = round_rng.derive(0x6465636fu, i);
-        decoy_inputs[i] = decoy_rng.next_u64();
-        decoy_payloads.push_back(Bitstring::random(decoy_rng, payload_bits));
-    }
-
-    // The decoding dictionary: C(r_u) for every node — what a correct
-    // decoder believes each node transmits. Phase-1 schedules equal these
-    // codewords for correct nodes; jammers transmit all-ones and crashed
-    // nodes all-zeros instead (but the dictionary stays the codewords:
-    // decoders have no fault knowledge).
-    std::vector<Bitstring> codewords;
-    codewords.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
-        codewords.push_back(beep_code.codeword(inputs[v]));
-    }
-    std::vector<Bitstring> phase1_schedules = codewords;
-    for (NodeId v = 0; v < n; ++v) {
-        if (state[v] == NodeState::jammer) {
-            phase1_schedules[v] = ~Bitstring(b);
-        } else if (state[v] == NodeState::crashed) {
-            phase1_schedules[v] = Bitstring(b);
+    // Phase schedules: the cached fault-free ones (codewords and combined
+    // codewords) unless faults force per-node overrides — jammers transmit
+    // all-ones, crashed nodes all-zeros, in both phases. The decoding
+    // dictionary stays the cached codewords: decoders have no fault
+    // knowledge.
+    const std::vector<Bitstring>* phase1_schedules = &round->codewords;
+    const std::vector<Bitstring>* phase2_schedules = &round->combined_schedules;
+    std::vector<Bitstring> faulty_phase1;
+    std::vector<Bitstring> faulty_phase2;
+    if (!faults.empty()) {
+        faulty_phase1 = round->codewords;
+        faulty_phase2 = round->combined_schedules;
+        for (NodeId v = 0; v < n; ++v) {
+            if (state[v] == NodeState::jammer) {
+                faulty_phase1[v] = ~Bitstring(b);
+                faulty_phase2[v] = ~Bitstring(b);
+            } else if (state[v] == NodeState::crashed) {
+                faulty_phase1[v] = Bitstring(b);
+                faulty_phase2[v] = Bitstring(b);
+            }
         }
-    }
-    std::vector<Bitstring> decoy_codewords;
-    decoy_codewords.reserve(params_.decoy_count);
-    for (const auto r : decoy_inputs) {
-        decoy_codewords.push_back(beep_code.codeword(r));
+        phase1_schedules = &faulty_phase1;
+        phase2_schedules = &faulty_phase2;
     }
 
     const BatchParams channel{ChannelParams{params_.epsilon, true}, false};
-    const BatchEngine phase1_engine(graph_, channel, round_rng.derive(0x70683161u));
-    const BatchEngine phase2_engine(graph_, channel, round_rng.derive(0x70683262u));
-
-    // Phase 2 schedules: combined codewords CD(r_v, payload_v).
-    std::vector<Bitstring> phase2_schedules;
-    phase2_schedules.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
-        switch (state[v]) {
-            case NodeState::correct:
-                phase2_schedules.push_back(combined.encode(inputs[v], payloads[v]));
-                break;
-            case NodeState::jammer:
-                phase2_schedules.push_back(~Bitstring(b));
-                break;
-            case NodeState::crashed:
-                phase2_schedules.push_back(Bitstring(b));
-                break;
-        }
-    }
+    const BatchEngine phase1_engine(graph_, channel, round->rng.derive(0x70683161u));
+    const BatchEngine phase2_engine(graph_, channel, round->rng.derive(0x70683262u));
 
     TransportRound result;
     result.beep_rounds = 2 * b;
     result.total_beeps =
-        BatchEngine::total_beeps(phase1_schedules) + BatchEngine::total_beeps(phase2_schedules);
+        faults.empty() ? round->phase1_beeps + round->phase2_beeps
+                       : BatchEngine::total_beeps(*phase1_schedules) +
+                             BatchEngine::total_beeps(*phase2_schedules);
     result.delivered.resize(n);
 
-    const Phase1Decoder phase1_decoder(beep_code, params_.epsilon);
+    const Phase1Decoder phase1_decoder(codebook_->beep_code(), params_.epsilon);
+    const DistanceCode& distance_code = codebook_->distance_code();
+    const std::size_t decoy_count = codebook_->decoy_count();
 
-    // Reusable scratch for the phase-2 candidate payload dictionary.
-    std::vector<Bitstring> payload_candidates;
+    std::vector<NodeDiagnostics> diagnostics(n);
+    std::vector<DecodeWorkspace> workspaces(pool_->worker_count());
 
-    for (NodeId v = 0; v < n; ++v) {
+    pool_->parallel_for(n, [&](std::size_t worker, std::size_t node) {
+        const auto v = static_cast<NodeId>(node);
         if (state[v] != NodeState::correct) {
-            continue;  // faulty nodes produce no output (delivered stays empty)
+            return;  // faulty nodes produce no output (delivered stays empty)
         }
-        const Bitstring heard1 = phase1_engine.hear(v, phase1_schedules);
+        DecodeWorkspace& ws = workspaces[worker];
+        NodeDiagnostics& diag = diagnostics[v];
 
-        // Candidate node inputs for this decoder.
-        std::span<const NodeId> candidate_nodes;
-        std::vector<NodeId> all_nodes;
-        if (params_.dictionary == DictionaryPolicy::two_hop) {
-            candidate_nodes = two_hop_[v];
-        } else {
-            all_nodes.resize(n);
-            for (NodeId u = 0; u < n; ++u) {
-                all_nodes[u] = u;
-            }
-            candidate_nodes = all_nodes;
-        }
+        phase1_engine.hear_into(v, *phase1_schedules, ws.heard1);
 
-        // Phase 1 decode: which candidate inputs pass the Lemma 9 test.
-        std::vector<NodeId> accepted_nodes;
-        for (const auto u : candidate_nodes) {
-            if (u != v && phase1_decoder.accepts_codeword(heard1, codewords[u])) {
-                accepted_nodes.push_back(u);
+        // Candidate entries for this decoder: node ids first, then the null
+        // payload and the decoys (one list, built once per transport).
+        const std::span<const std::uint32_t> entries = codebook_->candidate_entries(v);
+        const std::size_t node_candidates = codebook_->node_candidate_count(v);
+
+        // Phase 1 decode: which candidate inputs pass the Lemma 9 test. The
+        // node's own input is known; the paper includes it in R_v (inclusive
+        // neighborhood) but it carries no foreign message.
+        ws.accepted_nodes.clear();
+        for (std::size_t i = 0; i < node_candidates; ++i) {
+            const NodeId u = entries[i];
+            if (u != v && phase1_decoder.accepts_codeword(ws.heard1, round->codewords[u])) {
+                ws.accepted_nodes.push_back(u);
             }
         }
-        // The node's own input is known; the paper includes it in R_v
-        // (inclusive neighborhood) but it carries no foreign message.
-        std::vector<std::size_t> accepted_decoys;
-        for (std::size_t i = 0; i < decoy_codewords.size(); ++i) {
-            if (phase1_decoder.accepts_codeword(heard1, decoy_codewords[i])) {
-                accepted_decoys.push_back(i);
+        ws.accepted_decoys.clear();
+        for (std::size_t i = 0; i < decoy_count; ++i) {
+            if (phase1_decoder.accepts_codeword(ws.heard1, round->decoy_codewords[i])) {
+                ws.accepted_decoys.push_back(i);
             }
         }
 
@@ -212,50 +162,43 @@ TransportRound BeepTransport::simulate_round(
         // neighbors (faulty neighbors never transmitted their codeword, so
         // accepting one counts as a false positive).
         std::size_t true_accepted = 0;
-        for (const auto u : accepted_nodes) {
+        for (const auto u : ws.accepted_nodes) {
             if (graph_.has_edge(u, v) && state[u] == NodeState::correct) {
                 ++true_accepted;
             } else {
-                ++result.phase1_false_positives;
+                ++diag.phase1_false_positives;
             }
         }
-        result.phase1_false_positives += accepted_decoys.size();
+        diag.phase1_false_positives += ws.accepted_decoys.size();
         std::size_t correct_neighbors = 0;
         for (const auto u : graph_.neighbors(v)) {
             correct_neighbors += state[u] == NodeState::correct ? 1 : 0;
         }
-        result.phase1_false_negatives += correct_neighbors - true_accepted;
+        diag.phase1_false_negatives += correct_neighbors - true_accepted;
 
-        // Phase 2 decode for every accepted foreign input.
-        const Bitstring heard2 = phase2_engine.hear(v, phase2_schedules);
+        // Phase 2 decode for every accepted foreign input, against the
+        // round's cached dictionary encodings.
+        phase2_engine.hear_into(v, *phase2_schedules, ws.heard2);
 
-        payload_candidates.clear();
-        for (const auto u : candidate_nodes) {
-            payload_candidates.push_back(payloads[u]);
-        }
-        payload_candidates.push_back(Bitstring(payload_bits));  // the null payload
-        for (const auto& decoy : decoy_payloads) {
-            payload_candidates.push_back(decoy);
-        }
-
-        auto decode_for_positions = [&](const std::vector<std::size_t>& positions) {
-            const Bitstring received = heard2.gather(positions);
-            return distance_code.decode(received, payload_candidates);
+        auto decode_at = [&](const std::vector<std::size_t>& positions) {
+            ws.heard2.gather_into(positions, ws.gathered);
+            return distance_code.decode_cached(ws.gathered, round->candidate_messages,
+                                               round->candidate_encoded, entries);
         };
 
-        for (const auto u : accepted_nodes) {
-            const auto decoded = decode_for_positions(codewords[u].one_positions());
+        for (const auto u : ws.accepted_nodes) {
+            const auto decoded = decode_at(round->one_positions[u]);
             ensure(decoded.has_value(), "BeepTransport: empty phase-2 dictionary");
             if (graph_.has_edge(u, v) && state[u] == NodeState::correct &&
-                decoded->message != payloads[u]) {
-                ++result.phase2_errors;
+                decoded->message != round->payloads[u]) {
+                ++diag.phase2_errors;
             }
             if (decoded->message.test(0)) {
                 result.delivered[v].push_back(extract_message(decoded->message));
             }
         }
-        for (const auto i : accepted_decoys) {
-            const auto decoded = decode_for_positions(decoy_codewords[i].one_positions());
+        for (const auto i : ws.accepted_decoys) {
+            const auto decoded = decode_at(round->decoy_one_positions[i]);
             ensure(decoded.has_value(), "BeepTransport: empty phase-2 dictionary");
             if (decoded->message.test(0)) {
                 result.delivered[v].push_back(extract_message(decoded->message));
@@ -268,15 +211,21 @@ TransportRound BeepTransport::simulate_round(
         std::vector<Bitstring> expected;
         for (const auto u : graph_.neighbors(v)) {
             if (messages[u].has_value() && state[u] == NodeState::correct) {
-                expected.push_back(extract_message(payloads[u]));
+                expected.push_back(extract_message(round->payloads[u]));
             }
         }
         sort_messages(expected);
         if (expected != result.delivered[v]) {
-            ++result.delivery_mismatches;
+            ++diag.delivery_mismatches;
         }
-    }
+    });
 
+    for (const auto& diag : diagnostics) {
+        result.phase1_false_negatives += diag.phase1_false_negatives;
+        result.phase1_false_positives += diag.phase1_false_positives;
+        result.phase2_errors += diag.phase2_errors;
+        result.delivery_mismatches += diag.delivery_mismatches;
+    }
     result.perfect = result.delivery_mismatches == 0;
     return result;
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -26,7 +27,9 @@
 #include "codes/decoders.h"
 #include "common/bitstring.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
+#include "sim/codebook.h"
 #include "sim/params.h"
 
 namespace nb {
@@ -101,13 +104,15 @@ public:
     const SimulationParams& params() const noexcept { return params_; }
     const Graph& graph() const noexcept override { return graph_; }
 
-private:
-    /// Nodes within distance <= 2 of v (excluding v), precomputed for the
-    /// two_hop dictionary policy.
-    std::vector<std::vector<NodeId>> two_hop_;
+    /// The once-per-transport code/dictionary cache (see codebook.h); its
+    /// stats() expose the construction counters tests assert on.
+    const Codebook& codebook() const noexcept { return *codebook_; }
 
+private:
     const Graph& graph_;
     SimulationParams params_;
+    std::unique_ptr<Codebook> codebook_;
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace nb

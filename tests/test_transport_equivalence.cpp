@@ -1,0 +1,201 @@
+// Transport equivalence: the codebook-cached, thread-pooled simulate_round
+// must be a pure refactor of the original implementation. Every scenario
+// here is pinned against 64-bit fingerprints captured from the pre-refactor
+// (seed) BeepTransport on the same inputs — across both dictionary
+// policies, with and without a FaultModel — and the outputs must not depend
+// on the worker-thread count.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "baselines/tdma_transport.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "sim/params.h"
+#include "sim/transport.h"
+
+namespace nb {
+namespace {
+
+std::vector<std::optional<Bitstring>> make_messages(const Graph& graph, std::size_t bits,
+                                                    std::uint64_t seed,
+                                                    double silent_fraction = 0.25) {
+    Rng rng(seed);
+    std::vector<std::optional<Bitstring>> messages(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        if (!rng.bernoulli(silent_fraction)) {
+            messages[v] = Bitstring::random(rng, bits);
+        }
+    }
+    return messages;
+}
+
+/// Order- and content-sensitive digest of everything a TransportRound
+/// reports. Must stay byte-for-byte in sync with the harness that captured
+/// the golden values from the seed implementation.
+std::uint64_t fingerprint(const TransportRound& round) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    auto mix = [&h](std::uint64_t value) { h = mix64(h ^ value); };
+    for (const auto& messages : round.delivered) {
+        mix(messages.size());
+        for (const auto& message : messages) {
+            mix(message.hash());
+        }
+    }
+    mix(round.beep_rounds);
+    mix(round.total_beeps);
+    mix(round.phase1_false_negatives);
+    mix(round.phase1_false_positives);
+    mix(round.phase2_errors);
+    mix(round.delivery_mismatches);
+    return h;
+}
+
+std::uint64_t run_fingerprint(const BeepTransport& transport,
+                              const std::vector<std::optional<Bitstring>>& messages,
+                              const FaultModel& faults) {
+    std::uint64_t h = 0;
+    for (std::uint64_t nonce = 0; nonce < 3; ++nonce) {
+        h = mix64(h ^ fingerprint(transport.simulate_round(messages, nonce, faults)));
+    }
+    return h;
+}
+
+SimulationParams noisy_params(DictionaryPolicy policy, std::size_t threads = 1) {
+    SimulationParams params;
+    params.epsilon = 0.1;
+    params.message_bits = 10;
+    params.c_eps = 4;
+    params.dictionary = policy;
+    params.threads = threads;
+    return params;
+}
+
+void expect_equal_rounds(const TransportRound& a, const TransportRound& b) {
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.beep_rounds, b.beep_rounds);
+    EXPECT_EQ(a.total_beeps, b.total_beeps);
+    EXPECT_EQ(a.phase1_false_negatives, b.phase1_false_negatives);
+    EXPECT_EQ(a.phase1_false_positives, b.phase1_false_positives);
+    EXPECT_EQ(a.phase2_errors, b.phase2_errors);
+    EXPECT_EQ(a.delivery_mismatches, b.delivery_mismatches);
+    EXPECT_EQ(a.perfect, b.perfect);
+}
+
+// Golden fingerprints captured by running the scenarios below on the seed
+// (pre-codebook) implementation of BeepTransport at commit 6b6a934.
+constexpr std::uint64_t kGoldenTwoHopPlain = 0x82c6aaa1661aa3eaULL;
+constexpr std::uint64_t kGoldenTwoHopFaults = 0x2d7eb0a121342769ULL;
+constexpr std::uint64_t kGoldenAllNodesPlain = 0x82c6aaa1661aa3eaULL;
+constexpr std::uint64_t kGoldenAllNodesFaults = 0xcf836c6fc717b592ULL;
+constexpr std::uint64_t kGoldenNoiseless = 0x4c90d81a92c67923ULL;
+
+class TransportEquivalence : public ::testing::Test {
+protected:
+    TransportEquivalence() : graph_(make_graph()), messages_(make_messages(graph_, 10, 1234)) {
+        faults_.jammers = {3};
+        faults_.crashed = {7, 11};
+    }
+
+    static Graph make_graph() {
+        Rng rng(42);
+        return make_erdos_renyi(32, 0.18, rng);
+    }
+
+    Graph graph_;
+    std::vector<std::optional<Bitstring>> messages_;
+    FaultModel faults_;
+};
+
+TEST_F(TransportEquivalence, MatchesSeedTwoHop) {
+    const BeepTransport transport(graph_, noisy_params(DictionaryPolicy::two_hop));
+    EXPECT_EQ(run_fingerprint(transport, messages_, FaultModel{}), kGoldenTwoHopPlain);
+    EXPECT_EQ(run_fingerprint(transport, messages_, faults_), kGoldenTwoHopFaults);
+}
+
+TEST_F(TransportEquivalence, MatchesSeedAllNodes) {
+    const BeepTransport transport(graph_, noisy_params(DictionaryPolicy::all_nodes));
+    EXPECT_EQ(run_fingerprint(transport, messages_, FaultModel{}), kGoldenAllNodesPlain);
+    EXPECT_EQ(run_fingerprint(transport, messages_, faults_), kGoldenAllNodesFaults);
+}
+
+TEST_F(TransportEquivalence, MatchesSeedNoiseless) {
+    Rng rng(7);
+    const Graph g = make_random_regular(20, 4, rng);
+    const auto messages = make_messages(g, 8, 99, /*silent_fraction=*/0.0);
+    SimulationParams params;
+    params.epsilon = 0.0;
+    params.message_bits = 8;
+    params.c_eps = 4;
+    params.threads = 1;
+    const BeepTransport transport(g, params);
+    EXPECT_EQ(fingerprint(transport.simulate_round(messages, 5)), kGoldenNoiseless);
+}
+
+TEST_F(TransportEquivalence, ThreadCountDoesNotChangeOutputs) {
+    for (const auto policy : {DictionaryPolicy::two_hop, DictionaryPolicy::all_nodes}) {
+        const BeepTransport serial(graph_, noisy_params(policy, 1));
+        const BeepTransport threaded(graph_, noisy_params(policy, 4));
+        for (std::uint64_t nonce = 0; nonce < 2; ++nonce) {
+            expect_equal_rounds(serial.simulate_round(messages_, nonce),
+                                threaded.simulate_round(messages_, nonce));
+            expect_equal_rounds(serial.simulate_round(messages_, nonce, faults_),
+                                threaded.simulate_round(messages_, nonce, faults_));
+        }
+    }
+}
+
+TEST_F(TransportEquivalence, CodesAndCodewordsBuiltOncePerRound) {
+    const BeepTransport transport(graph_, noisy_params(DictionaryPolicy::two_hop));
+    const std::size_t n = graph_.node_count();
+    const std::size_t decoys = transport.params().decoy_count;
+
+    auto stats = transport.codebook().stats();
+    EXPECT_EQ(stats.code_builds, 1u);   // built in the constructor
+    EXPECT_EQ(stats.round_builds, 0u);  // no round simulated yet
+
+    transport.simulate_round(messages_, 0);
+    stats = transport.codebook().stats();
+    EXPECT_EQ(stats.round_builds, 1u);
+    EXPECT_EQ(stats.codeword_builds, n + decoys);
+    EXPECT_EQ(stats.payload_encodes, n + 1 + decoys);
+
+    // Re-simulating the same round (same messages + nonce, faults included)
+    // must not regenerate any code, codeword, or encoding.
+    transport.simulate_round(messages_, 0);
+    transport.simulate_round(messages_, 0, faults_);
+    stats = transport.codebook().stats();
+    EXPECT_EQ(stats.code_builds, 1u);
+    EXPECT_EQ(stats.round_builds, 1u);
+    EXPECT_EQ(stats.codeword_builds, n + decoys);
+    EXPECT_EQ(stats.payload_encodes, n + 1 + decoys);
+
+    // A fresh nonce is a new round: exactly one more rebuild.
+    transport.simulate_round(messages_, 1);
+    stats = transport.codebook().stats();
+    EXPECT_EQ(stats.code_builds, 1u);
+    EXPECT_EQ(stats.round_builds, 2u);
+    EXPECT_EQ(stats.codeword_builds, 2 * (n + decoys));
+}
+
+TEST(TdmaEquivalence, ThreadCountDoesNotChangeOutputs) {
+    Rng rng(11);
+    const Graph g = make_erdos_renyi(24, 0.2, rng);
+    const auto messages = make_messages(g, 8, 5);
+    TdmaParams serial_params;
+    serial_params.epsilon = 0.1;
+    serial_params.message_bits = 8;
+    serial_params.repetitions = 9;
+    serial_params.threads = 1;
+    TdmaParams threaded_params = serial_params;
+    threaded_params.threads = 4;
+    const TdmaTransport serial(g, serial_params);
+    const TdmaTransport threaded(g, threaded_params);
+    for (std::uint64_t nonce = 0; nonce < 3; ++nonce) {
+        expect_equal_rounds(serial.simulate_round(messages, nonce),
+                            threaded.simulate_round(messages, nonce));
+    }
+}
+
+}  // namespace
+}  // namespace nb
