@@ -28,9 +28,15 @@ double success_rate(const nb::Graph& g, double eps, std::size_t c_eps,
     for (nb::NodeId v = 0; v < g.node_count(); ++v) {
         messages[v] = nb::Bitstring::random(message_rng, message_bits);
     }
-    std::size_t perfect = 0;
+    // The whole nonce sweep is one batched transport call.
+    std::vector<nb::RoundSpec> specs;
+    specs.reserve(rounds);
     for (std::uint64_t nonce = 0; nonce < rounds; ++nonce) {
-        perfect += transport.simulate_round(messages, nonce).perfect ? 1 : 0;
+        specs.push_back(nb::RoundSpec{&messages, nonce, nullptr});
+    }
+    std::size_t perfect = 0;
+    for (const auto& round : transport.simulate_rounds(specs)) {
+        perfect += round.perfect ? 1 : 0;
     }
     return static_cast<double>(perfect) / static_cast<double>(rounds);
 }

@@ -92,32 +92,51 @@ std::shared_ptr<const TdmaTransport::ScheduleCache> TdmaTransport::schedules_for
     return cache;
 }
 
-TransportRound TdmaTransport::simulate_round(
-    const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce) const {
+std::vector<TransportRound> TdmaTransport::simulate_rounds(
+    std::span<const RoundSpec> specs) const {
     const std::size_t n = graph_.node_count();
-    require(messages.size() == n, "TdmaTransport::simulate_round: one message slot per node");
+    for (const auto& spec : specs) {
+        require(spec.messages != nullptr, "TdmaTransport::simulate_rounds: null messages");
+        require(spec.messages->size() == n, "TdmaTransport: one message slot per node");
+        require(spec.faults == nullptr || spec.faults->empty(),
+                "TdmaTransport: fault injection is not supported");
+    }
 
+    std::vector<TransportRound> results;
+    results.reserve(specs.size());
+    // Decode buffers are per batch: sized on the first round, reused by all.
+    std::vector<Bitstring> heard_buffers(pool_->worker_count());
+    for (const auto& spec : specs) {
+        const std::shared_ptr<const ScheduleCache> cache = schedules_for(*spec.messages);
+        results.push_back(decode_round(*cache, *spec.messages, spec.nonce, heard_buffers));
+    }
+    return results;
+}
+
+TransportRound TdmaTransport::decode_round(const ScheduleCache& cache,
+                                           const std::vector<std::optional<Bitstring>>& messages,
+                                           std::uint64_t round_nonce,
+                                           std::vector<Bitstring>& heard_buffers) const {
+    const std::size_t n = graph_.node_count();
     const std::size_t payload_bits = params_.message_bits + 1;
     const std::size_t slot_bits = payload_bits * params_.repetitions;
-
-    const std::shared_ptr<const ScheduleCache> cache = schedules_for(messages);
 
     const Rng round_rng = Rng(params_.transport_seed).derive(0x726f756eu, round_nonce);
     const BatchParams channel{ChannelParams{params_.epsilon, true}, false};
     const BatchEngine engine(graph_, channel, round_rng);
+    engine.check_schedules(cache.schedules);  // once per round, not per node
 
     TransportRound result;
     result.beep_rounds = rounds_per_broadcast_round();
-    result.total_beeps = cache->total_beeps;
+    result.total_beeps = cache.total_beeps;
     result.delivered.resize(n);
 
     const std::size_t majority = params_.repetitions / 2 + 1;
     std::vector<std::size_t> mismatches(n, 0);
-    std::vector<Bitstring> heard_buffers(pool_->worker_count());
     pool_->parallel_for(n, [&](std::size_t worker, std::size_t node) {
         const auto v = static_cast<NodeId>(node);
         Bitstring& heard = heard_buffers[worker];
-        engine.hear_into(v, cache->schedules, heard);
+        engine.hear_into(v, cache.schedules, heard);
         // Decode one message per neighbor from that neighbor's color slot
         // (the setup coloring tells v when each neighbor transmits).
         for (const auto u : graph_.neighbors(v)) {

@@ -46,8 +46,11 @@ public:
     /// coloring once at construction.
     TdmaTransport(const Graph& graph, TdmaParams params);
 
-    TransportRound simulate_round(const std::vector<std::optional<Bitstring>>& messages,
-                                  std::uint64_t round_nonce) const override;
+    /// Batched rounds (specs must carry no FaultModel — the baseline does
+    /// not model faults). Schedule packing is cached per messages vector and
+    /// decode buffers are reused across the whole batch.
+    std::vector<TransportRound> simulate_rounds(
+        std::span<const RoundSpec> specs) const override;
 
     std::size_t rounds_per_broadcast_round() const override;
 
@@ -69,6 +72,11 @@ private:
 
     std::shared_ptr<const ScheduleCache> schedules_for(
         const std::vector<std::optional<Bitstring>>& messages) const;
+
+    TransportRound decode_round(const ScheduleCache& cache,
+                                const std::vector<std::optional<Bitstring>>& messages,
+                                std::uint64_t round_nonce,
+                                std::vector<Bitstring>& heard_buffers) const;
 
     const Graph& graph_;
     TdmaParams params_;

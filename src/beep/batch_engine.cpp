@@ -23,7 +23,12 @@ Bitstring BatchEngine::superimpose(NodeId node, const std::vector<Bitstring>& sc
 
 void BatchEngine::superimpose_into(NodeId node, const std::vector<Bitstring>& schedules,
                                    Bitstring& out, bool include_own) const {
-    check_schedules(schedules);
+    // O(1) validation only; callers batching many nodes over one schedule
+    // set validate lengths once via check_schedules. A mismatched length
+    // among the schedules this node actually ORs still throws below; a
+    // mismatch elsewhere in the set is only caught by check_schedules.
+    require(schedules.size() == graph_.node_count(),
+            "BatchEngine: one schedule per node required");
     require(node < graph_.node_count(), "BatchEngine::superimpose: node out of range");
     out.reset(schedules.empty() ? 0 : schedules.front().size());
     if (include_own) {
@@ -54,6 +59,7 @@ void BatchEngine::hear_into(NodeId node, const std::vector<Bitstring>& schedules
 }
 
 std::vector<Bitstring> BatchEngine::hear_all(const std::vector<Bitstring>& schedules) const {
+    check_schedules(schedules);  // once for the whole batch of nodes
     std::vector<Bitstring> result;
     result.reserve(graph_.node_count());
     for (NodeId v = 0; v < graph_.node_count(); ++v) {

@@ -66,9 +66,15 @@ public:
     /// Total beeps (energy) of a schedule set.
     static std::size_t total_beeps(const std::vector<Bitstring>& schedules);
 
-private:
+    /// Validate a schedule set (one per node, equal lengths) once, before a
+    /// batch of hear/superimpose calls over it. The per-call path checks
+    /// only the O(1) schedule count — revalidating all n lengths inside
+    /// every per-node call made the decode loop O(n^2) in require checks —
+    /// and a mismatched length still throws from the word-parallel OR, so
+    /// skipping this check risks no silent corruption.
     void check_schedules(const std::vector<Bitstring>& schedules) const;
 
+private:
     const Graph& graph_;
     BatchParams params_;
     Rng rng_;

@@ -27,6 +27,14 @@ bool Phase1Decoder::accepts_codeword(const Bitstring& heard, const Bitstring& co
     return codeword.and_not_count_below(heard, reject_limit_);
 }
 
+void Phase1Decoder::accept_all(const Bitstring& heard, const BitsliceMatrix& candidates,
+                               BitsliceScratch& scratch,
+                               std::vector<std::uint64_t>& accept) const {
+    require(candidates.empty() || candidates.rows() == code_->length(),
+            "Phase1Decoder::accept_all: wrong codeword length");
+    candidates.and_not_below(heard, reject_limit_, scratch, accept);
+}
+
 std::vector<std::uint64_t> Phase1Decoder::decode(
     const Bitstring& heard, std::span<const std::uint64_t> dictionary) const {
     std::vector<std::uint64_t> accepted;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "codes/beep_code.h"
+#include "common/bitslice.h"
 #include "common/bitstring.h"
 
 namespace nb {
@@ -54,6 +55,16 @@ public:
     /// All accepted inputs among `dictionary` (the decoded set R~_v).
     std::vector<std::uint64_t> decode(const Bitstring& heard,
                                       std::span<const std::uint64_t> dictionary) const;
+
+    /// Bitsliced Lemma 9 test over a whole candidate matrix at once: after
+    /// the call, bit c of `accept` is set iff
+    /// accepts_codeword(heard, column c of `candidates`). One pass over the
+    /// transcript scores all candidates word-parallel (64 per lane); see
+    /// bitslice.h for the kernel. The transports call this in place of
+    /// their per-candidate loops when the dictionary is large.
+    /// Precondition: the matrix rows equal the code length.
+    void accept_all(const Bitstring& heard, const BitsliceMatrix& candidates,
+                    BitsliceScratch& scratch, std::vector<std::uint64_t>& accept) const;
 
 private:
     const BeepCode* code_;

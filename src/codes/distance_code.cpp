@@ -1,5 +1,6 @@
 #include "codes/distance_code.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -82,6 +83,84 @@ std::optional<DistanceCode::Decoded> DistanceCode::decode_cached(
                            length_);
     }
     return best;
+}
+
+std::vector<std::uint32_t> DistanceCode::decode_gaps(std::span<const Bitstring> messages,
+                                                     std::span<const Bitstring> encoded) const {
+    return extend_decode_gaps(messages, encoded, {});
+}
+
+std::vector<std::uint32_t> DistanceCode::extend_decode_gaps(
+    std::span<const Bitstring> messages, std::span<const Bitstring> encoded,
+    std::span<const std::uint32_t> prefix_gaps) const {
+    require(encoded.size() == messages.size(),
+            "DistanceCode::decode_gaps: one encoding per candidate message");
+    require(prefix_gaps.size() <= encoded.size(),
+            "DistanceCode::extend_decode_gaps: prefix exceeds the dictionary");
+    const std::size_t count = encoded.size();
+    const std::size_t prefix = prefix_gaps.size();
+    // length_ + 1 exceeds any real distance, so an entry with no distinct
+    // neighbor keeps a gap the shortcut can always clear.
+    std::vector<std::uint32_t> gaps(count, static_cast<std::uint32_t>(length_ + 1));
+    std::copy(prefix_gaps.begin(), prefix_gaps.end(), gaps.begin());
+    std::vector<bool> conflicted(count, false);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Prefix-internal pairs are already folded into prefix_gaps.
+        for (std::size_t j = std::max(i + 1, prefix); j < count; ++j) {
+            const auto distance =
+                static_cast<std::uint32_t>(encoded[i].hamming_distance(encoded[j]));
+            if (distance == 0) {
+                // Same encoding: harmless if the messages agree (one tie
+                // class, one output), disqualifying otherwise.
+                if (messages[i] != messages[j]) {
+                    conflicted[i] = true;
+                    conflicted[j] = true;
+                }
+                continue;
+            }
+            gaps[i] = std::min(gaps[i], distance);
+            gaps[j] = std::min(gaps[j], distance);
+        }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        if (conflicted[i]) {
+            gaps[i] = 0;
+        }
+    }
+    return gaps;
+}
+
+std::uint32_t DistanceCode::nearest_entry(const Bitstring& received,
+                                          std::span<const Bitstring> messages,
+                                          std::span<const Bitstring> encoded,
+                                          std::span<const std::uint32_t> entries,
+                                          std::uint32_t hint_entry,
+                                          std::span<const std::uint32_t> gaps) const {
+    require(received.size() == length_,
+            "DistanceCode::nearest_entry: received has the wrong length");
+    require(!entries.empty(), "DistanceCode::nearest_entry: empty dictionary");
+    if (!gaps.empty()) {
+        const std::size_t hint_distance = encoded[hint_entry].hamming_distance(received);
+        if (2 * hint_distance < gaps[hint_entry]) {
+            return hint_entry;
+        }
+    }
+    // Full scan, replicating decode_cached()'s fold exactly: strictly
+    // smaller distance wins; an equal distance wins only with a canonically
+    // smaller message.
+    std::uint32_t best_entry = entries.front();
+    std::size_t best_distance = encoded[best_entry].hamming_distance(received);
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        const std::uint32_t entry = entries[i];
+        const std::size_t distance = encoded[entry].hamming_distance(received);
+        if (distance < best_distance ||
+            (distance == best_distance &&
+             message_less(messages[entry], messages[best_entry]))) {
+            best_entry = entry;
+            best_distance = distance;
+        }
+    }
+    return best_entry;
 }
 
 DistanceCode::Decoded DistanceCode::decode_exhaustive(const Bitstring& received) const {

@@ -5,6 +5,7 @@
 // checked sequential access so encode/decode stay in sync by construction.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/bitstring.h"
@@ -18,16 +19,24 @@ public:
     explicit BitWriter(std::size_t total_bits) : bits_(total_bits) {}
 
     /// Append the low `width` bits of `value`. Precondition: value fits and
-    /// capacity remains. Width up to 64.
+    /// capacity remains. Width up to 64. Word-parallel (Bitstring::store_bits).
     void write(std::uint64_t value, std::size_t width) {
-        require(width <= 64, "BitWriter::write: width must be <= 64");
-        require(width == 64 || value < (std::uint64_t{1} << width),
-                "BitWriter::write: value does not fit in width");
         require(cursor_ + width <= bits_.size(), "BitWriter::write: capacity exceeded");
-        for (std::size_t i = 0; i < width; ++i) {
-            if ((value >> i) & 1u) {
-                bits_.set(cursor_ + i);
-            }
+        bits_.store_bits(cursor_, value, width);
+        cursor_ += width;
+    }
+
+    /// Append `width` bits taken from `value` (value[i] if i < value.size(),
+    /// zero-padded above), 64 bits at a time. This is the bulk field writer
+    /// for Bitstring payloads; it replaces per-bit write(…, 1) loops.
+    void write_bits(const Bitstring& value, std::size_t width) {
+        require(value.size() <= width, "BitWriter::write_bits: value exceeds width");
+        require(cursor_ + width <= bits_.size(), "BitWriter::write_bits: capacity exceeded");
+        for (std::size_t i = 0; i < width; i += 64) {
+            const std::size_t chunk = std::min<std::size_t>(64, width - i);
+            const std::size_t have =
+                i < value.size() ? std::min(chunk, value.size() - i) : 0;
+            bits_.store_bits(cursor_ + i, have == 0 ? 0 : value.load_bits(i, have), chunk);
         }
         cursor_ += width;
     }
@@ -47,15 +56,23 @@ class BitReader {
 public:
     explicit BitReader(const Bitstring& bits) : bits_(bits) {}
 
-    /// Read the next `width` bits as an unsigned value.
+    /// Read the next `width` bits as an unsigned value. Word-parallel
+    /// (Bitstring::load_bits).
     std::uint64_t read(std::size_t width) {
-        require(width <= 64, "BitReader::read: width must be <= 64");
         require(cursor_ + width <= bits_.size(), "BitReader::read: out of data");
-        std::uint64_t value = 0;
-        for (std::size_t i = 0; i < width; ++i) {
-            if (bits_.test(cursor_ + i)) {
-                value |= std::uint64_t{1} << i;
-            }
+        const std::uint64_t value = bits_.load_bits(cursor_, width);
+        cursor_ += width;
+        return value;
+    }
+
+    /// Read the next `width` bits as a Bitstring field, 64 bits at a time —
+    /// the bulk counterpart of BitWriter::write_bits.
+    Bitstring read_bits(std::size_t width) {
+        require(cursor_ + width <= bits_.size(), "BitReader::read_bits: out of data");
+        Bitstring value(width);
+        for (std::size_t i = 0; i < width; i += 64) {
+            const std::size_t chunk = std::min<std::size_t>(64, width - i);
+            value.store_bits(i, bits_.load_bits(cursor_ + i, chunk), chunk);
         }
         cursor_ += width;
         return value;

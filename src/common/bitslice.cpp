@@ -1,0 +1,194 @@
+#include "common/bitslice.h"
+
+#include <atomic>
+#include <bit>
+
+#include "common/error.h"
+
+namespace nb {
+
+namespace {
+
+constexpr std::size_t bits_per_word = 64;
+
+std::uint64_t next_matrix_epoch() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+BitsliceMatrix::BitsliceMatrix(std::span<const Bitstring> columns,
+                               std::span<const Bitstring> extra_columns) {
+    columns_ = columns.size() + extra_columns.size();
+    if (columns_ == 0) {
+        return;
+    }
+    epoch_ = next_matrix_epoch();
+    rows_ = columns.empty() ? extra_columns.front().size() : columns.front().size();
+    lane_words_ = (columns_ + bits_per_word - 1) / bits_per_word;
+    rows_data_.assign(rows_ * lane_words_, 0);
+    weights_.reserve(columns_);
+
+    std::size_t c = 0;
+    const auto transpose_in = [&](std::span<const Bitstring> set) {
+        for (const auto& column : set) {
+            require(column.size() == rows_, "BitsliceMatrix: column lengths must match");
+            const std::uint64_t lane_bit = std::uint64_t{1} << (c % bits_per_word);
+            const std::size_t lane = c / bits_per_word;
+            column.for_each_one([&](std::size_t p) {
+                rows_data_[p * lane_words_ + lane] |= lane_bit;
+            });
+            weights_.push_back(static_cast<std::uint32_t>(column.count()));
+            ++c;
+        }
+    };
+    transpose_in(columns);
+    transpose_in(extra_columns);
+}
+
+void BitsliceMatrix::prepare_scratch(std::size_t limit, BitsliceScratch& scratch) const {
+    if (scratch.bias_epoch_ == epoch_ && scratch.bias_limit_ == limit) {
+        return;
+    }
+    // Counter width: enough planes that every column's acceptance threshold
+    // t_c = weight_c - limit + 1 fits below 2^K. Columns already below the
+    // missing-ones limit at zero intersections (t_c <= 0) are accepted
+    // unconditionally; their counters stay biased at zero and never fire.
+    std::size_t max_threshold = 1;
+    for (std::size_t c = 0; c < columns_; ++c) {
+        const std::size_t weight = weights_[c];
+        if (weight + 1 > limit) {
+            max_threshold = std::max(max_threshold, weight + 1 - limit);
+        }
+    }
+    const std::size_t plane_count = std::bit_width(max_threshold);
+    scratch.bias_.assign(plane_count * lane_words_, 0);
+    scratch.always_.assign(lane_words_, 0);
+    for (std::size_t c = 0; c < columns_; ++c) {
+        const std::size_t weight = weights_[c];
+        const std::uint64_t lane_bit = std::uint64_t{1} << (c % bits_per_word);
+        const std::size_t lane = c / bits_per_word;
+        if (weight + 1 <= limit) {
+            scratch.always_[lane] |= lane_bit;
+            continue;
+        }
+        const std::uint64_t bias =
+            (std::uint64_t{1} << plane_count) - (weight + 1 - limit);
+        for (std::size_t k = 0; k < plane_count; ++k) {
+            if ((bias >> k) & 1u) {
+                scratch.bias_[k * lane_words_ + lane] |= lane_bit;
+            }
+        }
+    }
+    scratch.plane_count_ = plane_count;
+    scratch.bias_epoch_ = epoch_;
+    scratch.bias_limit_ = limit;
+}
+
+void BitsliceMatrix::and_not_below(const Bitstring& other, std::size_t limit,
+                                   BitsliceScratch& scratch,
+                                   std::vector<std::uint64_t>& accept) const {
+    accept.assign(lane_words_, 0);
+    if (columns_ == 0) {
+        return;  // nothing to test (and no row length to match)
+    }
+    require(other.size() == rows_, "BitsliceMatrix::and_not_below: wrong transcript length");
+    if (limit == 0) {
+        return;  // no candidate has fewer than zero missing ones
+    }
+    prepare_scratch(limit, scratch);
+    for (std::size_t w = 0; w < lane_words_; ++w) {
+        accept[w] = scratch.always_[w];
+    }
+    scratch.planes_ = scratch.bias_;
+    scratch.low_.assign(3 * lane_words_, 0);
+
+    // Count intersections with `other`'s 1-rows in the vertical counters.
+    // The hot loop accumulates rows into 3-bit chunk counters (`low`) with a
+    // branchless carry-save ripple — pure bitwise ops over contiguous lanes,
+    // which the compiler vectorizes — and every 7 rows the chunk value is
+    // added into the bias-initialized high planes, whose carry out of the
+    // top plane accumulates into the acceptance mask (see file comment).
+    // Chunks of 7 keep the 3-bit counters overflow-free by construction.
+    const std::size_t plane_count = scratch.plane_count_;
+    const std::size_t lanes = lane_words_;
+    std::uint64_t* planes = scratch.planes_.data();
+    std::uint64_t* low0 = scratch.low_.data();
+    std::uint64_t* low1 = low0 + lanes;
+    std::uint64_t* low2 = low1 + lanes;
+    std::uint64_t* out = accept.data();
+    const std::uint64_t* rows = rows_data_.data();
+
+    const auto flush_chunk = [&] {
+        for (std::size_t w = 0; w < lanes; ++w) {
+            const std::uint64_t c0 = low0[w];
+            const std::uint64_t c1 = low1[w];
+            const std::uint64_t c2 = low2[w];
+            low0[w] = 0;
+            low1[w] = 0;
+            low2[w] = 0;
+            std::uint64_t* plane = planes + w;
+            // Half-add c0, then full-add c1 and c2 at their planes, then
+            // propagate the carry; a carry surviving the top plane means the
+            // counter passed its acceptance threshold. With fewer planes
+            // than chunk bits (thresholds < 8), the unrepresentable chunk
+            // bits imply the threshold was passed and carry out directly.
+            std::uint64_t carry = *plane & c0;
+            *plane ^= c0;
+            if (plane_count == 1) {
+                out[w] |= carry | c1 | c2;
+                continue;
+            }
+            plane += lanes;
+            std::uint64_t p = *plane;
+            *plane = p ^ c1 ^ carry;
+            carry = (p & (c1 | carry)) | (c1 & carry);
+            if (plane_count == 2) {
+                out[w] |= carry | c2;
+                continue;
+            }
+            plane += lanes;
+            p = *plane;
+            *plane = p ^ c2 ^ carry;
+            carry = (p & (c2 | carry)) | (c2 & carry);
+            for (std::size_t k = 3; k < plane_count; ++k) {
+                plane += lanes;
+                p = *plane;
+                *plane = p ^ carry;
+                carry &= p;
+            }
+            out[w] |= carry;
+        }
+    };
+
+    std::size_t chunk_rows = 0;
+    const std::vector<std::uint64_t>& transcript = other.words();
+    for (std::size_t tw = 0; tw < transcript.size(); ++tw) {
+        std::uint64_t bits = transcript[tw];
+        while (bits != 0) {
+            const std::size_t p =
+                tw * bits_per_word + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::uint64_t* row = rows + p * lanes;
+            for (std::size_t w = 0; w < lanes; ++w) {
+                const std::uint64_t r = row[w];
+                const std::uint64_t a = low0[w];
+                const std::uint64_t carry1 = a & r;
+                low0[w] = a ^ r;
+                const std::uint64_t b = low1[w];
+                low1[w] = b ^ carry1;
+                low2[w] ^= b & carry1;
+            }
+            if (++chunk_rows == 7) {
+                flush_chunk();
+                chunk_rows = 0;
+            }
+        }
+    }
+    if (chunk_rows != 0) {
+        flush_chunk();
+    }
+}
+
+}  // namespace nb

@@ -165,6 +165,59 @@ void Bitstring::reset(std::size_t size) {
     words_.assign(word_count_for(size), 0);
 }
 
+std::uint64_t Bitstring::load_bits(std::size_t pos, std::size_t width) const {
+    require(width <= 64, "Bitstring::load_bits: width must be <= 64");
+    require(pos + width <= size_, "Bitstring::load_bits: range out of bounds");
+    if (width == 0) {
+        return 0;
+    }
+    const std::size_t word = pos / bits_per_word;
+    const std::size_t offset = pos % bits_per_word;
+    std::uint64_t value = words_[word] >> offset;
+    if (offset + width > bits_per_word) {
+        value |= words_[word + 1] << (bits_per_word - offset);
+    }
+    if (width < 64) {
+        value &= (std::uint64_t{1} << width) - 1;
+    }
+    return value;
+}
+
+void Bitstring::store_bits(std::size_t pos, std::uint64_t value, std::size_t width) {
+    require(width <= 64, "Bitstring::store_bits: width must be <= 64");
+    require(width == 64 || value < (std::uint64_t{1} << width),
+            "Bitstring::store_bits: value does not fit in width");
+    require(pos + width <= size_, "Bitstring::store_bits: range out of bounds");
+    if (width == 0) {
+        return;
+    }
+    const std::size_t word = pos / bits_per_word;
+    const std::size_t offset = pos % bits_per_word;
+    const std::uint64_t mask =
+        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    words_[word] = (words_[word] & ~(mask << offset)) | (value << offset);
+    if (offset + width > bits_per_word) {
+        const std::size_t spill = bits_per_word - offset;
+        words_[word + 1] = (words_[word + 1] & ~(mask >> spill)) | (value >> spill);
+    }
+}
+
+Bitstring Bitstring::tail(std::size_t from) const {
+    require(from <= size_, "Bitstring::tail: start out of range");
+    Bitstring result(size_ - from);
+    const std::size_t word = from / bits_per_word;
+    const std::size_t offset = from % bits_per_word;
+    for (std::size_t w = 0; w < result.words_.size(); ++w) {
+        std::uint64_t value = words_[word + w] >> offset;
+        if (offset != 0 && word + w + 1 < words_.size()) {
+            value |= words_[word + w + 1] << (bits_per_word - offset);
+        }
+        result.words_[w] = value;
+    }
+    result.clear_padding();
+    return result;
+}
+
 Bitstring Bitstring::gather(const std::vector<std::size_t>& positions) const {
     Bitstring result;
     gather_into(positions, result);

@@ -113,6 +113,22 @@ public:
     /// Reset to an all-zero string of `size` bits, reusing word storage.
     void reset(std::size_t size);
 
+    /// The low `width` bits starting at `pos`, as an integer (bit `pos` is
+    /// the result's bit 0). Word-parallel: at most two word reads.
+    /// Precondition: width <= 64 and pos + width <= size().
+    std::uint64_t load_bits(std::size_t pos, std::size_t width) const;
+
+    /// Write the low `width` bits of `value` at `pos` (bit 0 of `value`
+    /// lands at `pos`), overwriting. Word-parallel: at most two word writes.
+    /// Precondition: width <= 64, pos + width <= size(), and `value` fits.
+    void store_bits(std::size_t pos, std::uint64_t value, std::size_t width);
+
+    /// The suffix [from, size()) as a new Bitstring of size() - from bits —
+    /// a word-parallel shift, replacing bit-by-bit extraction loops (the
+    /// transports use it to strip payload presence bits).
+    /// Precondition: from <= size().
+    Bitstring tail(std::size_t from) const;
+
     /// Gather the bits of this string at the given positions, in order:
     /// result[i] = this[positions[i]]. Used to extract the subsequence
     /// y_{v,w} at the 1-positions of C(r_w) (Section 4, Lemma 10).

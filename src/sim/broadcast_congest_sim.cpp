@@ -56,7 +56,12 @@ SimulatedRunStats BroadcastCongestOverBeeps::run(
             break;
         }
 
-        const TransportRound delivery = transport_->simulate_round(outbox, round);
+        // One-spec batch on the batched transport API: the algorithm loop is
+        // inherently sequential (round r+1's messages depend on round r's
+        // deliveries), so the batch cannot grow beyond one round here — but
+        // the call still rides the batched path's hoisted setup.
+        const RoundSpec spec{&outbox, round, nullptr};
+        const TransportRound delivery = std::move(transport_->simulate_rounds({&spec, 1}).front());
         ++stats.congest_rounds;
         stats.beep_rounds += delivery.beep_rounds;
         stats.total_beeps += delivery.total_beeps;

@@ -106,7 +106,7 @@ std::shared_ptr<const Codebook::Round> Codebook::round(
 std::shared_ptr<Codebook::Round> Codebook::build_round(
     const std::vector<std::optional<Bitstring>>& messages, std::uint64_t nonce) const {
     const std::size_t n = graph_.node_count();
-    require(messages.size() == n, "BeepTransport::simulate_round: one message slot per node");
+    require(messages.size() == n, "Codebook: one message slot per node");
 
     auto round = std::make_shared<Round>();
     round->nonce = nonce;
@@ -161,8 +161,44 @@ std::shared_ptr<Codebook::Round> Codebook::build_round(
         round->candidate_messages.push_back(std::move(decoy));
     }
     round->candidate_encoded.reserve(round->candidate_messages.size());
+    round->candidate_tails.reserve(round->candidate_messages.size());
     for (const auto& candidate : round->candidate_messages) {
         round->candidate_encoded.push_back(distance.encode(candidate));
+        round->candidate_tails.push_back(candidate.tail(1));
+    }
+
+    // Bitsliced phase-1 matrix and phase-2 decode radii: only the all_nodes
+    // policy scans dictionaries large enough to amortize them (see the
+    // header comment on Round). The matrix is built only from
+    // bitslice_min_candidates candidates up — below the crossover the
+    // transport's scalar early-exit loop wins and the transpose would be
+    // waste. The O(n^2) node-payload gap block is messages-keyed in
+    // node_gaps_, so a fixed-messages nonce sweep recomputes only the
+    // decoy rows each round.
+    if (params_.dictionary == DictionaryPolicy::all_nodes) {
+        if (n + params_.decoy_count >= params_.bitslice_min_candidates) {
+            round->codeword_slices = BitsliceMatrix(round->codewords, round->decoy_codewords);
+        }
+        const std::span<const Bitstring> all_messages(round->candidate_messages);
+        const std::span<const Bitstring> all_encoded(round->candidate_encoded);
+        std::shared_ptr<const NodeGapCache> node_gaps;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (node_gaps_ != nullptr && node_gaps_->messages == messages) {
+                node_gaps = node_gaps_;
+            }
+        }
+        if (node_gaps == nullptr) {
+            auto fresh = std::make_shared<NodeGapCache>();
+            fresh->messages = messages;
+            fresh->gaps = distance.decode_gaps(all_messages.first(n + 1),
+                                               all_encoded.first(n + 1));
+            node_gaps = fresh;
+            std::lock_guard<std::mutex> lock(mutex_);
+            node_gaps_ = std::move(fresh);
+        }
+        round->decode_gaps =
+            distance.extend_decode_gaps(all_messages, all_encoded, node_gaps->gaps);
     }
 
     // Fault-free phase-2 schedules CD(r_v, payload_v): D(payload_v) is

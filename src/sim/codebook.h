@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "codes/combined_code.h"
+#include "common/bitslice.h"
 #include "common/bitstring.h"
 #include "common/rng.h"
 #include "graph/graph.h"
@@ -73,6 +74,23 @@ public:
         /// candidate messages and their cached distance-code encodings.
         std::vector<Bitstring> candidate_messages;
         std::vector<Bitstring> candidate_encoded;
+
+        /// candidate_messages[e] with the presence bit stripped — the
+        /// algorithm-level message each entry delivers, precomputed so the
+        /// per-delivery extraction is a copy instead of a bit shift.
+        std::vector<Bitstring> candidate_tails;
+
+        /// Transposed phase-1 candidate matrix for the bitsliced decoder:
+        /// columns 0..n-1 are the node codewords, columns n.. the decoys
+        /// (the null payload has no codeword). Built, with decode_gaps, only
+        /// under the all_nodes dictionary policy — the O(n)-per-node scans
+        /// they accelerate; two-hop dictionaries are small enough that the
+        /// scalar kernels win (see DESIGN.md section 5).
+        BitsliceMatrix codeword_slices;
+
+        /// Per-entry unique-decoding radii for the phase-2 radius shortcut
+        /// (DistanceCode::decode_gaps). Empty under two_hop.
+        std::vector<std::uint32_t> decode_gaps;
 
         /// Fault-free phase-2 schedules CD(r_v, payload_v) and the fault-free
         /// energy totals (phase 1 beeps the codewords themselves).
@@ -115,6 +133,15 @@ private:
     std::shared_ptr<Round> build_round(const std::vector<std::optional<Bitstring>>& messages,
                                        std::uint64_t nonce) const;
 
+    /// The node-payload block of the phase-2 decode radii (entries 0..n:
+    /// payloads + null) depends only on `messages`, not the nonce, so a
+    /// fixed-messages nonce sweep reuses it and each round pays only for
+    /// the decoy rows (DistanceCode::extend_decode_gaps).
+    struct NodeGapCache {
+        std::vector<std::optional<Bitstring>> messages;  ///< the cache key
+        std::vector<std::uint32_t> gaps;
+    };
+
     const Graph& graph_;
     SimulationParams params_;
     CombinedCode combined_;
@@ -125,6 +152,7 @@ private:
 
     mutable std::mutex mutex_;
     mutable std::shared_ptr<const Round> cached_;
+    mutable std::shared_ptr<const NodeGapCache> node_gaps_;
     mutable Stats stats_;
 };
 

@@ -80,10 +80,7 @@ std::optional<Bitstring> CongestViaBroadcastAdapter::broadcast(std::size_t round
     writer.write(neighbor_ids_[slot], id_bits_);
     writer.write(self_, id_bits_);
     writer.write(1, 1);
-    const Bitstring& payload = *outgoing_[slot];
-    for (std::size_t i = 0; i < inner_message_bits_; ++i) {
-        writer.write(i < payload.size() && payload.test(i) ? 1 : 0, 1);
-    }
+    writer.write_bits(*outgoing_[slot], inner_message_bits_);  // word-wise, zero-padded
     return writer.bits();
 }
 
@@ -119,13 +116,7 @@ void CongestViaBroadcastAdapter::receive(std::size_t round, const std::vector<Bi
         if (reader.read(1) != 1) {
             continue;
         }
-        Bitstring payload(inner_message_bits_);
-        for (std::size_t i = 0; i < inner_message_bits_; ++i) {
-            if (reader.read(1) == 1) {
-                payload.set(i);
-            }
-        }
-        inbox_.push_back(AddressedMessage{sender, std::move(payload)});
+        inbox_.push_back(AddressedMessage{sender, reader.read_bits(inner_message_bits_)});
     }
 
     if (slot + 1 == slots) {

@@ -63,6 +63,14 @@ struct SimulationParams {
     /// thread count; this only trades wall-clock for cores.
     std::size_t threads = 0;
 
+    /// Candidate-count threshold at which all_nodes rounds transpose the
+    /// codewords into a BitsliceMatrix and phase-1-decode with the
+    /// bitsliced kernel instead of the per-candidate scalar loop (0 forces
+    /// bitslicing, SIZE_MAX disables it). Outputs are bit-identical either
+    /// way — the threshold only selects the faster kernel; the default is
+    /// the measured crossover on popcount-capable hardware.
+    std::size_t bitslice_min_candidates = 512;
+
     /// Validate ranges; throws precondition_error.
     void validate() const;
 

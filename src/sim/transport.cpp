@@ -1,6 +1,8 @@
 #include "sim/transport.h"
 
 #include <algorithm>
+#include <bit>
+#include <future>
 
 #include "beep/batch_engine.h"
 #include "common/error.h"
@@ -9,18 +11,6 @@
 namespace nb {
 
 namespace {
-
-/// Inverse of the codebook's payload packing for a decoded payload with the
-/// presence bit set: drop bit 0, shift the message bits down by one.
-Bitstring extract_message(const Bitstring& payload) {
-    Bitstring message(payload.size() - 1);
-    for (std::size_t i = 1; i < payload.size(); ++i) {
-        if (payload.test(i)) {
-            message.set(i - 1);
-        }
-    }
-    return message;
-}
 
 enum class NodeState : unsigned char { correct, jammer, crashed };
 
@@ -33,17 +23,42 @@ struct NodeDiagnostics {
     std::size_t delivery_mismatches = 0;
 };
 
-/// Reusable per-worker scratch: transcript/gather buffers and acceptance
-/// lists, so the node loop allocates nothing once warm.
-struct DecodeWorkspace {
+std::vector<NodeState> build_node_states(std::size_t n, const FaultModel& faults) {
+    std::vector<NodeState> state(n, NodeState::correct);
+    for (const auto v : faults.jammers) {
+        require(v < n, "BeepTransport: jammer id out of range");
+        state[v] = NodeState::jammer;
+    }
+    for (const auto v : faults.crashed) {
+        require(v < n, "BeepTransport: crashed id out of range");
+        require(state[v] == NodeState::correct, "BeepTransport: node cannot jam and crash");
+        state[v] = NodeState::crashed;
+    }
+    return state;
+}
+
+}  // namespace
+
+/// Reusable per-worker scratch: transcript/gather buffers, acceptance lists,
+/// bitslice counters and ground-truth pointers. Allocated once per
+/// simulate_rounds call and reused across every round of the batch, so the
+/// node loop allocates nothing once warm.
+struct BeepTransport::DecodeWorkspace {
     Bitstring heard1;
     Bitstring heard2;
     Bitstring gathered;
     std::vector<NodeId> accepted_nodes;
     std::vector<std::size_t> accepted_decoys;
+    std::vector<std::uint64_t> accept_mask;
+    BitsliceScratch slice_scratch;
+    std::vector<const Bitstring*> expected;
 };
 
-}  // namespace
+TransportRound Transport::simulate_round(
+    const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce) const {
+    const RoundSpec spec{&messages, round_nonce, nullptr};
+    return std::move(simulate_rounds({&spec, 1}).front());
+}
 
 BeepTransport::BeepTransport(const Graph& graph, SimulationParams params)
     : graph_(graph), params_(params) {
@@ -58,42 +73,80 @@ std::size_t BeepTransport::rounds_per_broadcast_round() const {
 }
 
 TransportRound BeepTransport::simulate_round(
-    const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce) const {
-    return simulate_round(messages, round_nonce, FaultModel{});
-}
-
-TransportRound BeepTransport::simulate_round(
     const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce,
     const FaultModel& faults) const {
+    const RoundSpec spec{&messages, round_nonce, &faults};
+    return std::move(simulate_rounds({&spec, 1}).front());
+}
+
+std::vector<TransportRound> BeepTransport::simulate_rounds(
+    std::span<const RoundSpec> specs) const {
     const std::size_t n = graph_.node_count();
-    require(messages.size() == n, "BeepTransport::simulate_round: one message slot per node");
-
-    std::vector<NodeState> state(n, NodeState::correct);
-    for (const auto v : faults.jammers) {
-        require(v < n, "BeepTransport: jammer id out of range");
-        state[v] = NodeState::jammer;
-    }
-    for (const auto v : faults.crashed) {
-        require(v < n, "BeepTransport: crashed id out of range");
-        require(state[v] == NodeState::correct, "BeepTransport: node cannot jam and crash");
-        state[v] = NodeState::crashed;
+    for (const auto& spec : specs) {
+        require(spec.messages != nullptr, "BeepTransport::simulate_rounds: null messages");
+        require(spec.messages->size() == n, "BeepTransport: one message slot per node");
+        if (spec.faults != nullptr) {
+            build_node_states(n, *spec.faults);  // fail fast on bad fault ids
+        }
     }
 
+    std::vector<TransportRound> results;
+    results.reserve(specs.size());
+    if (specs.empty()) {
+        return results;
+    }
+
+    // Workspaces are per batch, not per round: the buffers inside reach
+    // their steady-state sizes during the first round and are reused by
+    // every later one.
+    std::vector<DecodeWorkspace> workspaces(pool_->worker_count());
+
+    // Pipeline: while round i is decoding on the pool, a builder task
+    // derives round i+1's Codebook::Round (codewords, schedules, slices,
+    // radii) for its nonce. Builds are pure functions of (messages, nonce),
+    // so overlapping them with decoding cannot change any output. With a
+    // single worker the pipeline would only add synchronization, so the
+    // batch degenerates to build-then-decode per spec.
+    const auto build = [this](const RoundSpec& spec) {
+        return codebook_->round(*spec.messages, spec.nonce);
+    };
+    const bool pipelined = pool_->worker_count() > 1 && specs.size() > 1;
+    std::shared_ptr<const Codebook::Round> current = build(specs.front());
+    std::future<std::shared_ptr<const Codebook::Round>> next;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (pipelined && i + 1 < specs.size()) {
+            next = std::async(std::launch::async, build, std::cref(specs[i + 1]));
+        }
+        results.push_back(decode_round(*current, specs[i], workspaces));
+        if (i + 1 < specs.size()) {
+            current = pipelined ? next.get() : build(specs[i + 1]);
+        }
+    }
+    return results;
+}
+
+TransportRound BeepTransport::decode_round(const Codebook::Round& round, const RoundSpec& spec,
+                                           std::vector<DecodeWorkspace>& workspaces) const {
+    const std::size_t n = graph_.node_count();
+    const std::vector<std::optional<Bitstring>>& messages = *spec.messages;
+    static const FaultModel no_faults{};
+    const FaultModel& faults = spec.faults != nullptr ? *spec.faults : no_faults;
+
+    const std::vector<NodeState> state = build_node_states(n, faults);
     const std::size_t b = codebook_->beep_length();
-    const std::shared_ptr<const Codebook::Round> round = codebook_->round(messages, round_nonce);
 
     // Phase schedules: the cached fault-free ones (codewords and combined
     // codewords) unless faults force per-node overrides — jammers transmit
     // all-ones, crashed nodes all-zeros, in both phases. The decoding
     // dictionary stays the cached codewords: decoders have no fault
     // knowledge.
-    const std::vector<Bitstring>* phase1_schedules = &round->codewords;
-    const std::vector<Bitstring>* phase2_schedules = &round->combined_schedules;
+    const std::vector<Bitstring>* phase1_schedules = &round.codewords;
+    const std::vector<Bitstring>* phase2_schedules = &round.combined_schedules;
     std::vector<Bitstring> faulty_phase1;
     std::vector<Bitstring> faulty_phase2;
     if (!faults.empty()) {
-        faulty_phase1 = round->codewords;
-        faulty_phase2 = round->combined_schedules;
+        faulty_phase1 = round.codewords;
+        faulty_phase2 = round.combined_schedules;
         for (NodeId v = 0; v < n; ++v) {
             if (state[v] == NodeState::jammer) {
                 faulty_phase1[v] = ~Bitstring(b);
@@ -108,13 +161,18 @@ TransportRound BeepTransport::simulate_round(
     }
 
     const BatchParams channel{ChannelParams{params_.epsilon, true}, false};
-    const BatchEngine phase1_engine(graph_, channel, round->rng.derive(0x70683161u));
-    const BatchEngine phase2_engine(graph_, channel, round->rng.derive(0x70683262u));
+    const BatchEngine phase1_engine(graph_, channel, round.rng.derive(0x70683161u));
+    const BatchEngine phase2_engine(graph_, channel, round.rng.derive(0x70683262u));
+    // Schedule sets are validated once per round here, not once per node
+    // inside hear_into — that revalidation made decoding O(n^2) in require
+    // checks.
+    phase1_engine.check_schedules(*phase1_schedules);
+    phase2_engine.check_schedules(*phase2_schedules);
 
     TransportRound result;
     result.beep_rounds = 2 * b;
     result.total_beeps =
-        faults.empty() ? round->phase1_beeps + round->phase2_beeps
+        faults.empty() ? round.phase1_beeps + round.phase2_beeps
                        : BatchEngine::total_beeps(*phase1_schedules) +
                              BatchEngine::total_beeps(*phase2_schedules);
     result.delivered.resize(n);
@@ -122,9 +180,9 @@ TransportRound BeepTransport::simulate_round(
     const Phase1Decoder phase1_decoder(codebook_->beep_code(), params_.epsilon);
     const DistanceCode& distance_code = codebook_->distance_code();
     const std::size_t decoy_count = codebook_->decoy_count();
+    const bool bitsliced = !round.codeword_slices.empty();
 
     std::vector<NodeDiagnostics> diagnostics(n);
-    std::vector<DecodeWorkspace> workspaces(pool_->worker_count());
 
     pool_->parallel_for(n, [&](std::size_t worker, std::size_t node) {
         const auto v = static_cast<NodeId>(node);
@@ -143,18 +201,41 @@ TransportRound BeepTransport::simulate_round(
 
         // Phase 1 decode: which candidate inputs pass the Lemma 9 test. The
         // node's own input is known; the paper includes it in R_v (inclusive
-        // neighborhood) but it carries no foreign message.
+        // neighborhood) but it carries no foreign message. Under all_nodes
+        // the bitsliced kernel scores every candidate and decoy in one
+        // transcript pass; two-hop dictionaries are small enough that the
+        // per-candidate scalar kernel wins.
         ws.accepted_nodes.clear();
-        for (std::size_t i = 0; i < node_candidates; ++i) {
-            const NodeId u = entries[i];
-            if (u != v && phase1_decoder.accepts_codeword(ws.heard1, round->codewords[u])) {
-                ws.accepted_nodes.push_back(u);
-            }
-        }
         ws.accepted_decoys.clear();
-        for (std::size_t i = 0; i < decoy_count; ++i) {
-            if (phase1_decoder.accepts_codeword(ws.heard1, round->decoy_codewords[i])) {
-                ws.accepted_decoys.push_back(i);
+        if (bitsliced) {
+            phase1_decoder.accept_all(ws.heard1, round.codeword_slices, ws.slice_scratch,
+                                      ws.accept_mask);
+            for (std::size_t w = 0; w < ws.accept_mask.size(); ++w) {
+                std::uint64_t bits = ws.accept_mask[w];
+                while (bits != 0) {
+                    const std::size_t c =
+                        w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+                    bits &= bits - 1;
+                    if (c < n) {
+                        if (c != v) {
+                            ws.accepted_nodes.push_back(static_cast<NodeId>(c));
+                        }
+                    } else {
+                        ws.accepted_decoys.push_back(c - n);
+                    }
+                }
+            }
+        } else {
+            for (std::size_t i = 0; i < node_candidates; ++i) {
+                const NodeId u = entries[i];
+                if (u != v && phase1_decoder.accepts_codeword(ws.heard1, round.codewords[u])) {
+                    ws.accepted_nodes.push_back(u);
+                }
+            }
+            for (std::size_t i = 0; i < decoy_count; ++i) {
+                if (phase1_decoder.accepts_codeword(ws.heard1, round.decoy_codewords[i])) {
+                    ws.accepted_decoys.push_back(i);
+                }
             }
         }
 
@@ -177,45 +258,57 @@ TransportRound BeepTransport::simulate_round(
         diag.phase1_false_negatives += correct_neighbors - true_accepted;
 
         // Phase 2 decode for every accepted foreign input, against the
-        // round's cached dictionary encodings.
+        // round's cached dictionary encodings. The accepted sender is the
+        // nearest-entry hint: when its encoding is within the unique-
+        // decoding radius, the dictionary scan is skipped (exact; see
+        // DistanceCode::nearest_entry).
         phase2_engine.hear_into(v, *phase2_schedules, ws.heard2);
 
-        auto decode_at = [&](const std::vector<std::size_t>& positions) {
+        auto decode_entry_at = [&](const std::vector<std::size_t>& positions,
+                                   std::uint32_t hint_entry) {
             ws.heard2.gather_into(positions, ws.gathered);
-            return distance_code.decode_cached(ws.gathered, round->candidate_messages,
-                                               round->candidate_encoded, entries);
+            return distance_code.nearest_entry(ws.gathered, round.candidate_messages,
+                                               round.candidate_encoded, entries, hint_entry,
+                                               round.decode_gaps);
         };
 
         for (const auto u : ws.accepted_nodes) {
-            const auto decoded = decode_at(round->one_positions[u]);
-            ensure(decoded.has_value(), "BeepTransport: empty phase-2 dictionary");
+            const std::uint32_t entry = decode_entry_at(round.one_positions[u], u);
+            const Bitstring& decoded = round.candidate_messages[entry];
             if (graph_.has_edge(u, v) && state[u] == NodeState::correct &&
-                decoded->message != round->payloads[u]) {
+                decoded != round.payloads[u]) {
                 ++diag.phase2_errors;
             }
-            if (decoded->message.test(0)) {
-                result.delivered[v].push_back(extract_message(decoded->message));
+            if (decoded.test(0)) {
+                result.delivered[v].push_back(round.candidate_tails[entry]);
             }
         }
         for (const auto i : ws.accepted_decoys) {
-            const auto decoded = decode_at(round->decoy_one_positions[i]);
-            ensure(decoded.has_value(), "BeepTransport: empty phase-2 dictionary");
-            if (decoded->message.test(0)) {
-                result.delivered[v].push_back(extract_message(decoded->message));
+            const auto hint = static_cast<std::uint32_t>(n + 1 + i);
+            const std::uint32_t entry = decode_entry_at(round.decoy_one_positions[i], hint);
+            if (round.candidate_messages[entry].test(0)) {
+                result.delivered[v].push_back(round.candidate_tails[entry]);
             }
         }
         sort_messages(result.delivered[v]);
 
         // Ground-truth delivery for the mismatch diagnostic: faulty
-        // neighbors' messages are lost by definition.
-        std::vector<Bitstring> expected;
+        // neighbors' messages are lost by definition. The expected messages
+        // are the cached payload tails, compared through pointers so the
+        // check allocates nothing.
+        ws.expected.clear();
         for (const auto u : graph_.neighbors(v)) {
             if (messages[u].has_value() && state[u] == NodeState::correct) {
-                expected.push_back(extract_message(round->payloads[u]));
+                ws.expected.push_back(&round.candidate_tails[u]);
             }
         }
-        sort_messages(expected);
-        if (expected != result.delivered[v]) {
+        std::sort(ws.expected.begin(), ws.expected.end(),
+                  [](const Bitstring* a, const Bitstring* b) { return message_less(*a, *b); });
+        bool mismatch = ws.expected.size() != result.delivered[v].size();
+        for (std::size_t i = 0; !mismatch && i < ws.expected.size(); ++i) {
+            mismatch = *ws.expected[i] != result.delivered[v][i];
+        }
+        if (mismatch) {
             ++diag.delivery_mismatches;
         }
     });

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "codes/combined_code.h"
@@ -64,6 +65,16 @@ struct TransportRound {
     bool perfect = true;                     ///< delivery_mismatches == 0
 };
 
+/// One round of a batched simulation: the messages (non-owning — they must
+/// outlive the simulate_rounds call), the per-round nonce, and an optional
+/// fault model (nullptr = fault-free). Sweeps typically share one messages
+/// vector across many specs and vary only the nonce.
+struct RoundSpec {
+    const std::vector<std::optional<Bitstring>>* messages = nullptr;
+    std::uint64_t nonce = 0;
+    const FaultModel* faults = nullptr;
+};
+
 /// Abstract "one Broadcast CONGEST round over beeps" mechanism. The paper's
 /// Algorithm 1 (BeepTransport) and the prior-work G^2-coloring TDMA baseline
 /// implement this, so the same simulated engine and experiments drive both.
@@ -71,11 +82,22 @@ class Transport {
 public:
     virtual ~Transport() = default;
 
+    /// Simulate a batch of rounds, one result per spec, in spec order. This
+    /// is the throughput path: per-spec setup (schedule validation, decode
+    /// workspaces, engine state) is paid once per batch instead of once per
+    /// round, and implementations may overlap per-round precomputation with
+    /// the decoding of earlier rounds. Outputs are bit-identical to calling
+    /// simulate_round per spec — batching, like threading, only trades
+    /// wall-clock (see DESIGN.md section 5).
+    virtual std::vector<TransportRound> simulate_rounds(
+        std::span<const RoundSpec> specs) const = 0;
+
     /// Simulate one round. `messages[v]` is node v's broadcast (at most
     /// message_bits bits) or nullopt for silence. `round_nonce` must differ
-    /// across rounds (it keys the fresh per-round randomness).
-    virtual TransportRound simulate_round(const std::vector<std::optional<Bitstring>>& messages,
-                                          std::uint64_t round_nonce) const = 0;
+    /// across rounds (it keys the fresh per-round randomness). Equivalent to
+    /// simulate_rounds with a single spec.
+    TransportRound simulate_round(const std::vector<std::optional<Bitstring>>& messages,
+                                  std::uint64_t round_nonce) const;
 
     /// Beep rounds one simulated round costs on this transport's graph.
     virtual std::size_t rounds_per_broadcast_round() const = 0;
@@ -88,8 +110,10 @@ public:
     /// The graph must outlive the transport.
     BeepTransport(const Graph& graph, SimulationParams params);
 
-    TransportRound simulate_round(const std::vector<std::optional<Bitstring>>& messages,
-                                  std::uint64_t round_nonce) const override;
+    using Transport::simulate_round;
+
+    std::vector<TransportRound> simulate_rounds(
+        std::span<const RoundSpec> specs) const override;
 
     /// Fault-injected variant: `faults` nodes misbehave as described by
     /// FaultModel. Ground-truth diagnostics expect nothing from faulty nodes
@@ -109,6 +133,11 @@ public:
     const Codebook& codebook() const noexcept { return *codebook_; }
 
 private:
+    struct DecodeWorkspace;
+
+    TransportRound decode_round(const Codebook::Round& round, const RoundSpec& spec,
+                                std::vector<DecodeWorkspace>& workspaces) const;
+
     const Graph& graph_;
     SimulationParams params_;
     std::unique_ptr<Codebook> codebook_;

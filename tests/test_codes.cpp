@@ -3,6 +3,9 @@
 // Kautz-Singleton baseline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "codes/analysis.h"
 #include "codes/beep_code.h"
 #include "codes/combined_code.h"
@@ -145,6 +148,105 @@ TEST(DistanceCode, ExhaustiveMatchesDictionaryOnFullSpace) {
 TEST(DistanceCode, EmptyDictionaryGivesNothing) {
     const DistanceCode code(6, 64, 1);
     EXPECT_FALSE(code.decode(Bitstring(64), {}).has_value());
+}
+
+TEST(DistanceCode, NearestEntryMatchesDecodeCached) {
+    // The radius-shortcut decoder must pick the same message as the full
+    // decode_cached scan for noisy receptions (shortcut hits), garbage
+    // receptions (fallback scans), and with gaps disabled entirely.
+    const DistanceCode code(12, 300, 21);
+    Rng rng(5);
+    const auto messages = random_messages(12, 60, rng);
+    std::vector<Bitstring> encoded;
+    std::vector<std::uint32_t> entries;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+        encoded.push_back(code.encode(messages[i]));
+        entries.push_back(static_cast<std::uint32_t>(i));
+    }
+    const auto gaps = code.decode_gaps(messages, encoded);
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+        for (const double epsilon : {0.0, 0.05, 0.3, 0.5}) {
+            Bitstring received = encoded[i];
+            received.apply_noise(rng, epsilon);
+            const auto expected = code.decode_cached(received, messages, encoded, entries);
+            ASSERT_TRUE(expected.has_value());
+            const std::uint32_t hint = entries[i];
+            const std::uint32_t with_gaps =
+                code.nearest_entry(received, messages, encoded, entries, hint, gaps);
+            const std::uint32_t without_gaps =
+                code.nearest_entry(received, messages, encoded, entries, hint, {});
+            EXPECT_EQ(messages[with_gaps], expected->message);
+            EXPECT_EQ(messages[without_gaps], expected->message);
+        }
+    }
+}
+
+TEST(DistanceCode, NearestEntryHandlesDuplicateMessages) {
+    // Entries sharing one message share one encoding; the shortcut may
+    // return either entry of the class but must decode the same message,
+    // and decode_gaps must keep the class's gap usable.
+    const DistanceCode code(8, 200, 33);
+    Rng rng(7);
+    auto messages = random_messages(8, 20, rng);
+    messages.push_back(messages[3]);  // duplicate message -> duplicate encoding
+    std::vector<Bitstring> encoded;
+    std::vector<std::uint32_t> entries;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+        encoded.push_back(code.encode(messages[i]));
+        entries.push_back(static_cast<std::uint32_t>(i));
+    }
+    const auto gaps = code.decode_gaps(messages, encoded);
+    EXPECT_GT(gaps[3], 0u);
+    EXPECT_EQ(gaps[3], gaps.back());
+    Bitstring received = encoded[3];
+    received.apply_noise(rng, 0.05);
+    const auto expected = code.decode_cached(received, messages, encoded, entries);
+    const std::uint32_t entry = code.nearest_entry(
+        received, messages, encoded, entries, entries.back(), gaps);
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_EQ(messages[entry], expected->message);
+}
+
+TEST(DistanceCode, DecodeGapsReflectPairwiseDistances) {
+    const DistanceCode code(10, 160, 9);
+    Rng rng(13);
+    const auto messages = random_messages(10, 12, rng);
+    std::vector<Bitstring> encoded;
+    for (const auto& message : messages) {
+        encoded.push_back(code.encode(message));
+    }
+    const auto gaps = code.decode_gaps(messages, encoded);
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+        std::size_t expected = code.length() + 1;
+        for (std::size_t j = 0; j < encoded.size(); ++j) {
+            if (j != i) {
+                expected = std::min(expected, encoded[i].hamming_distance(encoded[j]));
+            }
+        }
+        EXPECT_EQ(gaps[i], expected);
+    }
+}
+
+TEST(DistanceCode, ExtendDecodeGapsMatchesFullScan) {
+    // Splitting the pairwise scan into a cached prefix block plus the
+    // extension over later entries must reproduce the full scan exactly,
+    // including conflict zeroing across the split.
+    const DistanceCode code(8, 200, 41);
+    Rng rng(19);
+    auto messages = random_messages(8, 25, rng);
+    messages.push_back(messages[2]);   // duplicate across the split boundary
+    std::vector<Bitstring> encoded;
+    for (const auto& message : messages) {
+        encoded.push_back(code.encode(message));
+    }
+    const auto full = code.decode_gaps(messages, encoded);
+    for (const std::size_t prefix : {std::size_t{0}, std::size_t{1}, std::size_t{10},
+                                     std::size_t{25}, messages.size()}) {
+        const std::span<const Bitstring> m(messages);
+        const std::span<const Bitstring> e(encoded);
+        const auto prefix_gaps = code.decode_gaps(m.first(prefix), e.first(prefix));
+        EXPECT_EQ(code.extend_decode_gaps(m, e, prefix_gaps), full) << "prefix " << prefix;
+    }
 }
 
 TEST(DistanceCode, RunnerUpGapReported) {

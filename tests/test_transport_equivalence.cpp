@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "baselines/tdma_transport.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "sim/params.h"
@@ -57,6 +58,23 @@ std::uint64_t run_fingerprint(const BeepTransport& transport,
     std::uint64_t h = 0;
     for (std::uint64_t nonce = 0; nonce < 3; ++nonce) {
         h = mix64(h ^ fingerprint(transport.simulate_round(messages, nonce, faults)));
+    }
+    return h;
+}
+
+/// The same three-round digest as run_fingerprint, but simulated through a
+/// single batched simulate_rounds call — the goldens must not care which
+/// path produced the rounds.
+std::uint64_t batched_fingerprint(const Transport& transport,
+                                  const std::vector<std::optional<Bitstring>>& messages,
+                                  const FaultModel& faults) {
+    std::vector<RoundSpec> specs;
+    for (std::uint64_t nonce = 0; nonce < 3; ++nonce) {
+        specs.push_back(RoundSpec{&messages, nonce, faults.empty() ? nullptr : &faults});
+    }
+    std::uint64_t h = 0;
+    for (const auto& round : transport.simulate_rounds(specs)) {
+        h = mix64(h ^ fingerprint(round));
     }
     return h;
 }
@@ -132,6 +150,59 @@ TEST_F(TransportEquivalence, MatchesSeedNoiseless) {
     EXPECT_EQ(fingerprint(transport.simulate_round(messages, 5)), kGoldenNoiseless);
 }
 
+TEST_F(TransportEquivalence, BatchedRoundsMatchGoldenFingerprints) {
+    // simulate_rounds with batch size 3 must reproduce the seed-pinned
+    // fingerprints exactly, for both policies, with and without faults.
+    const BeepTransport two_hop(graph_, noisy_params(DictionaryPolicy::two_hop));
+    EXPECT_EQ(batched_fingerprint(two_hop, messages_, FaultModel{}), kGoldenTwoHopPlain);
+    EXPECT_EQ(batched_fingerprint(two_hop, messages_, faults_), kGoldenTwoHopFaults);
+    const BeepTransport all_nodes(graph_, noisy_params(DictionaryPolicy::all_nodes));
+    EXPECT_EQ(batched_fingerprint(all_nodes, messages_, FaultModel{}), kGoldenAllNodesPlain);
+    EXPECT_EQ(batched_fingerprint(all_nodes, messages_, faults_), kGoldenAllNodesFaults);
+}
+
+TEST_F(TransportEquivalence, BitslicedDecoderMatchesGoldenFingerprints) {
+    // Forcing the bitsliced phase-1 kernel below its size crossover must
+    // not change a single output bit: the goldens pin the bitsliced decode
+    // end to end (single and batched paths).
+    SimulationParams params = noisy_params(DictionaryPolicy::all_nodes);
+    params.bitslice_min_candidates = 0;
+    const BeepTransport transport(graph_, params);
+    EXPECT_EQ(run_fingerprint(transport, messages_, FaultModel{}), kGoldenAllNodesPlain);
+    EXPECT_EQ(run_fingerprint(transport, messages_, faults_), kGoldenAllNodesFaults);
+    EXPECT_EQ(batched_fingerprint(transport, messages_, FaultModel{}), kGoldenAllNodesPlain);
+    EXPECT_EQ(batched_fingerprint(transport, messages_, faults_), kGoldenAllNodesFaults);
+}
+
+TEST_F(TransportEquivalence, BatchSizeOneMatchesSimulateRound) {
+    for (const auto policy : {DictionaryPolicy::two_hop, DictionaryPolicy::all_nodes}) {
+        const BeepTransport transport(graph_, noisy_params(policy));
+        const RoundSpec spec{&messages_, 7, &faults_};
+        const auto batched = transport.simulate_rounds({&spec, 1});
+        ASSERT_EQ(batched.size(), 1u);
+        expect_equal_rounds(batched.front(), transport.simulate_round(messages_, 7, faults_));
+    }
+}
+
+TEST_F(TransportEquivalence, BatchedThreadCountDoesNotChangeOutputs) {
+    // The pipelined batch (threads > 1 overlaps codebook builds with
+    // decoding) must agree round-for-round with the serial batch.
+    for (const auto policy : {DictionaryPolicy::two_hop, DictionaryPolicy::all_nodes}) {
+        const BeepTransport serial(graph_, noisy_params(policy, 1));
+        const BeepTransport threaded(graph_, noisy_params(policy, 4));
+        std::vector<RoundSpec> specs;
+        for (std::uint64_t nonce = 0; nonce < 4; ++nonce) {
+            specs.push_back(RoundSpec{&messages_, nonce, nonce % 2 == 0 ? nullptr : &faults_});
+        }
+        const auto serial_rounds = serial.simulate_rounds(specs);
+        const auto threaded_rounds = threaded.simulate_rounds(specs);
+        ASSERT_EQ(serial_rounds.size(), threaded_rounds.size());
+        for (std::size_t i = 0; i < serial_rounds.size(); ++i) {
+            expect_equal_rounds(serial_rounds[i], threaded_rounds[i]);
+        }
+    }
+}
+
 TEST_F(TransportEquivalence, ThreadCountDoesNotChangeOutputs) {
     for (const auto policy : {DictionaryPolicy::two_hop, DictionaryPolicy::all_nodes}) {
         const BeepTransport serial(graph_, noisy_params(policy, 1));
@@ -195,6 +266,31 @@ TEST(TdmaEquivalence, ThreadCountDoesNotChangeOutputs) {
         expect_equal_rounds(serial.simulate_round(messages, nonce),
                             threaded.simulate_round(messages, nonce));
     }
+}
+
+TEST(TdmaEquivalence, BatchedRoundsMatchSingleRounds) {
+    Rng rng(12);
+    const Graph g = make_erdos_renyi(20, 0.25, rng);
+    const auto messages = make_messages(g, 8, 17);
+    TdmaParams params;
+    params.epsilon = 0.1;
+    params.message_bits = 8;
+    params.repetitions = 7;
+    params.threads = 1;
+    const TdmaTransport transport(g, params);
+    std::vector<RoundSpec> specs;
+    for (std::uint64_t nonce = 0; nonce < 3; ++nonce) {
+        specs.push_back(RoundSpec{&messages, nonce, nullptr});
+    }
+    const auto batched = transport.simulate_rounds(specs);
+    ASSERT_EQ(batched.size(), specs.size());
+    for (std::uint64_t nonce = 0; nonce < specs.size(); ++nonce) {
+        expect_equal_rounds(batched[nonce], transport.simulate_round(messages, nonce));
+    }
+    FaultModel faults;
+    faults.jammers = {1};
+    const RoundSpec faulty{&messages, 0, &faults};
+    EXPECT_THROW(transport.simulate_rounds({&faulty, 1}), precondition_error);
 }
 
 }  // namespace
