@@ -6,42 +6,14 @@
 // tested constant that keeps rounds >=95% perfect, the resulting overhead,
 // and the paper's proof constant — showing the Delta*log n shape is
 // untouched by noise.
+//
+// Every (epsilon, c) evaluation is the registry's e11 ScenarioSpec run
+// through the unified scenario runner, so `nb_run e11-eps0.10-c4`
+// reproduces this bench's numbers for that point exactly.
 #include <iostream>
-#include <optional>
 
 #include "bench_util.h"
-#include "common/math_util.h"
-#include "sim/transport.h"
-
-namespace {
-
-/// Fraction of perfect rounds out of `rounds` at the given constant.
-double success_rate(const nb::Graph& g, double eps, std::size_t c_eps,
-                    std::size_t message_bits, std::size_t rounds) {
-    nb::SimulationParams params;
-    params.epsilon = eps;
-    params.message_bits = message_bits;
-    params.c_eps = c_eps;
-    const nb::BeepTransport transport(g, params);
-    nb::Rng message_rng(11);
-    std::vector<std::optional<nb::Bitstring>> messages(g.node_count());
-    for (nb::NodeId v = 0; v < g.node_count(); ++v) {
-        messages[v] = nb::Bitstring::random(message_rng, message_bits);
-    }
-    // The whole nonce sweep is one batched transport call.
-    std::vector<nb::RoundSpec> specs;
-    specs.reserve(rounds);
-    for (std::uint64_t nonce = 0; nonce < rounds; ++nonce) {
-        specs.push_back(nb::RoundSpec{&messages, nonce, nullptr});
-    }
-    std::size_t perfect = 0;
-    for (const auto& round : transport.simulate_rounds(specs)) {
-        perfect += round.perfect ? 1 : 0;
-    }
-    return static_cast<double>(perfect) / static_cast<double>(rounds);
-}
-
-}  // namespace
+#include "scenarios/registry.h"
 
 int main() {
     using namespace nb;
@@ -49,12 +21,11 @@ int main() {
                   "introducing noise does not asymptotically increase simulation "
                   "cost: only the constant c_eps grows with epsilon");
 
-    const std::size_t n = 64;
-    const std::size_t d = 8;
-    const std::size_t message_bits = ceil_log2(n);
-    const std::size_t rounds = 8;
-    const Graph g = bench::regular_graph(n, d, 0xe11);
-    const std::size_t delta = g.max_degree();
+    // Every sweep point shares one topology and workload; read the fixed
+    // dimensions off the spec once.
+    const ScenarioSpec reference = scenarios::e11_noise_point(0.0, 3);
+    const std::size_t delta = reference.topology.build().max_degree();
+    const std::size_t message_bits = reference.workload.message_bits;
 
     Table table({"eps", "min c_eps (>=95%)", "overhead 2c^3(D+1)(B+1)", "over/(D*logn)",
                  "paper c_eps", "success at min"});
@@ -68,7 +39,7 @@ int main() {
             if (c < start) {
                 continue;
             }
-            rate = success_rate(g, eps, c, message_bits, rounds);
+            rate = run_scenario(scenarios::e11_noise_point(eps, c)).perfect_fraction();
             if (rate >= 0.95) {
                 chosen = c;
                 break;

@@ -11,7 +11,6 @@
 // implementation of this loop measured 27.6 rounds/s at n=256 and 2.28
 // rounds/s at n=1024 on the same workload.
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <vector>
@@ -95,18 +94,25 @@ int main() {
     }
     table.print(std::cout, "simulate_round loop vs simulate_rounds batch");
 
-    std::ofstream json("BENCH_transport.json");
-    json << "{\n  \"bench\": \"transport_throughput\",\n"
-         << "  \"policy\": \"all_nodes\",\n  \"epsilon\": 0.1,\n  \"results\": [\n";
-    for (std::size_t i = 0; i < measurements.size(); ++i) {
-        const auto& m = measurements[i];
-        json << "    {\"n\": " << m.n << ", \"delta\": " << m.delta
-             << ", \"single_rounds_per_s\": " << m.single_rounds_per_s
-             << ", \"batched_rounds_per_s\": " << m.batched_rounds_per_s << "}"
-             << (i + 1 < measurements.size() ? ",\n" : "\n");
-    }
-    json << "  ]\n}\n";
-    std::cout << "wrote BENCH_transport.json\n\n";
+    // The shared bench/scenario serializer (common/json.h via bench_util):
+    // this bench is a caller of the one JSON writer, not a copy of it.
+    bench::write_json_file("BENCH_transport.json", [&](JsonWriter& json) {
+        json.begin_object();
+        json.kv("bench", "transport_throughput");
+        json.kv("policy", "all_nodes");
+        json.kv("epsilon", 0.1);
+        json.key("results").begin_array();
+        for (const auto& m : measurements) {
+            json.begin_object();
+            json.kv("n", m.n);
+            json.kv("delta", m.delta);
+            json.kv("single_rounds_per_s", m.single_rounds_per_s);
+            json.kv("batched_rounds_per_s", m.batched_rounds_per_s);
+            json.end_object();
+        }
+        json.end_array();
+        json.end_object();
+    });
 
     bench::verdict(
         "the batched path matches or beats the single-round loop (on multicore "

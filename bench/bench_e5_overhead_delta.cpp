@@ -6,14 +6,16 @@
 // (executed), the G^2-TDMA baseline's measured cost (executed), the
 // [4]/[7] cost models, and the lower bound. The "ours/(Delta*logn)" column
 // flattening to a constant is the linear-in-Delta shape.
+//
+// Each sweep point is a declarative ScenarioSpec executed by the unified
+// scenario runner — the registry's e5-delta8-* specs are these exact points,
+// so `nb_run e5-delta8-beep` reproduces this bench's delta=8 row.
 #include <iostream>
-#include <optional>
 
 #include "baselines/cost_models.h"
-#include "baselines/tdma_transport.h"
 #include "bench_util.h"
 #include "common/math_util.h"
-#include "sim/transport.h"
+#include "scenarios/registry.h"
 
 int main() {
     using namespace nb;
@@ -23,53 +25,22 @@ int main() {
 
     const std::size_t n = 256;
     const std::size_t log_n = ceil_log2(n);
-    const std::size_t message_bits = log_n;  // gamma = 1
-    const double eps = 0.1;
 
     Table table({"Delta", "ours (beeps/round)", "ours/(D*logn)", "TDMA measured",
                  "[4] model", "[7] model", "LB D*logn/2", "round ok"});
     for (const std::size_t d : {2u, 4u, 8u, 16u, 32u, 64u}) {
-        const Graph g = bench::regular_graph(n, d, 0xe5 + d);
-        const std::size_t delta = g.max_degree();
+        const ScenarioResult ours =
+            run_scenario(scenarios::e5_overhead_point(d, TransportKind::beep));
+        const ScenarioResult tdma =
+            run_scenario(scenarios::e5_overhead_point(d, TransportKind::tdma));
+        const std::size_t delta = ours.max_degree;
+        const bool all_perfect = ours.perfect_rounds == ours.rounds &&
+                                 tdma.perfect_rounds == tdma.rounds;
 
-        SimulationParams params;
-        params.epsilon = eps;
-        params.message_bits = message_bits;
-        params.c_eps = 4;
-        const BeepTransport ours(g, params);
-
-        TdmaParams tdma_params;
-        tdma_params.epsilon = eps;
-        tdma_params.message_bits = message_bits;
-        tdma_params.repetitions = TdmaParams::recommended_repetitions(n, eps);
-        const TdmaTransport tdma(g, tdma_params);
-
-        // Execute a small batch of rounds of each (one simulate_rounds call
-        // per transport) to confirm the costs are real and check delivery
-        // success across fresh per-round randomness.
-        Rng message_rng(5 + d);
-        std::vector<std::optional<Bitstring>> messages(g.node_count());
-        for (NodeId v = 0; v < g.node_count(); ++v) {
-            messages[v] = Bitstring::random(message_rng, message_bits);
-        }
-        std::vector<RoundSpec> specs;
-        for (std::uint64_t nonce = 0; nonce < 4; ++nonce) {
-            specs.push_back(RoundSpec{&messages, nonce, nullptr});
-        }
-        const auto ours_rounds = ours.simulate_rounds(specs);
-        const auto tdma_rounds = tdma.simulate_rounds(specs);
-        bool all_perfect = true;
-        for (const auto& round : ours_rounds) {
-            all_perfect = all_perfect && round.perfect;
-        }
-        for (const auto& round : tdma_rounds) {
-            all_perfect = all_perfect && round.perfect;
-        }
-
-        const double normalized = static_cast<double>(ours_rounds.front().beep_rounds) /
+        const double normalized = static_cast<double>(ours.beep_rounds_per_round) /
                                   (static_cast<double>(delta) * static_cast<double>(log_n));
-        table.add_row({Table::num(delta), Table::num(ours_rounds.front().beep_rounds),
-                       Table::num(normalized, 1), Table::num(tdma_rounds.front().beep_rounds),
+        table.add_row({Table::num(delta), Table::num(ours.beep_rounds_per_round),
+                       Table::num(normalized, 1), Table::num(tdma.beep_rounds_per_round),
                        Table::num(agl_congest_overhead(n, delta, log_n)),
                        Table::num(beauquier_congest_overhead(delta, log_n)),
                        Table::num(lower_bound_broadcast_overhead(delta, log_n)),

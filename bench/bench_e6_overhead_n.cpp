@@ -2,55 +2,31 @@
 // Theta(log n).
 //
 // Sweeps n at fixed degree and reports the measured per-round beep cost and
-// its ratio to Delta*log n (flat ratio = the claimed log n scaling).
+// its ratio to Delta*log n (flat ratio = the claimed log n scaling). Each
+// sweep point is a ScenarioSpec run through the unified scenario runner;
+// the registry's e6-n256 spec is this bench's n=256 row.
 #include <iostream>
-#include <optional>
 
 #include "bench_util.h"
 #include "common/math_util.h"
-#include "sim/transport.h"
+#include "scenarios/registry.h"
 
 int main() {
     using namespace nb;
     bench::header("E6", "Broadcast CONGEST overhead vs n (Theorem 11)",
                   "per-round cost O(Delta log n): doubling n adds one log-unit");
 
-    const std::size_t d = 8;
-    const double eps = 0.1;
-
     Table table({"n", "log n", "Delta", "B=log n", "ours (beeps/round)", "ours/(D*logn)",
                  "round ok"});
     for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-        const Graph g = bench::regular_graph(n, d, 0xe6 + n);
-        const std::size_t delta = g.max_degree();
+        const ScenarioResult result = run_scenario(scenarios::e6_overhead_point(n));
+        const std::size_t delta = result.max_degree;
         const std::size_t log_n = ceil_log2(n);
-
-        SimulationParams params;
-        params.epsilon = eps;
-        params.message_bits = log_n;
-        params.c_eps = 4;
-        const BeepTransport transport(g, params);
-
-        Rng message_rng(n);
-        std::vector<std::optional<Bitstring>> messages(g.node_count());
-        for (NodeId v = 0; v < g.node_count(); ++v) {
-            messages[v] = Bitstring::random(message_rng, log_n);
-        }
-        // One batched call simulates the whole nonce sweep for this n.
-        std::vector<RoundSpec> specs;
-        for (std::uint64_t nonce = 0; nonce < 4; ++nonce) {
-            specs.push_back(RoundSpec{&messages, nonce, nullptr});
-        }
-        const auto rounds = transport.simulate_rounds(specs);
-        bool all_perfect = true;
-        for (const auto& round : rounds) {
-            all_perfect = all_perfect && round.perfect;
-        }
-        const double normalized = static_cast<double>(rounds.front().beep_rounds) /
+        const double normalized = static_cast<double>(result.beep_rounds_per_round) /
                                   (static_cast<double>(delta) * static_cast<double>(log_n));
         table.add_row({Table::num(n), Table::num(log_n), Table::num(delta), Table::num(log_n),
-                       Table::num(rounds.front().beep_rounds), Table::num(normalized, 1),
-                       all_perfect ? "yes" : "partial"});
+                       Table::num(result.beep_rounds_per_round), Table::num(normalized, 1),
+                       result.perfect_rounds == result.rounds ? "yes" : "partial"});
     }
     table.print(std::cout, "beep rounds per Broadcast CONGEST round (Delta~8, eps=0.1)");
 

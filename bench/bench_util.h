@@ -6,9 +6,11 @@
 // shape compares to the claim. EXPERIMENTS.md records these outputs.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "graph/generators.h"
@@ -32,6 +34,32 @@ inline Graph regular_graph(std::size_t n, std::size_t d, std::uint64_t seed) {
         ++d;
     }
     return make_random_regular(n, d, rng);
+}
+
+/// The one machine-readable-artifact writer every bench and the scenario
+/// runner share: opens `path`, hands the callback a JsonWriter (so
+/// escaping, number formatting, and comma/indent discipline come from
+/// common/json.h instead of per-bench stream code), and announces the file
+/// on stdout. Returns false (after a stderr note) if the file cannot be
+/// opened — benches keep exiting 0 so unattended runs never wedge on a
+/// read-only working directory.
+template <typename Fn>
+bool write_json_file(const std::string& path, Fn&& fill) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "warning: cannot open " << path << " for writing\n";
+        return false;
+    }
+    JsonWriter json(out);
+    fill(json);
+    out << '\n';
+    out.flush();
+    if (!out.good()) {  // truncated artifact (disk full, I/O error)
+        std::cerr << "warning: writing " << path << " failed\n";
+        return false;
+    }
+    std::cout << "wrote " << path << "\n\n";
+    return true;
 }
 
 }  // namespace nb::bench

@@ -1,0 +1,99 @@
+// nb_run — the unified scenario runner CLI.
+//
+// Executes named ScenarioSpecs from the registry (default: all shipped
+// specs), prints one consistent table, and writes BENCH_scenarios.json in
+// the nb-scenarios/v1 schema (the same serializer the tests pin). Every
+// "what if the channel / topology / faults were X" question is a spec here,
+// not a new binary.
+//
+//   nb_run                    run all shipped scenarios
+//   nb_run ge-burst e6-n256   run the named scenarios only
+//   nb_run --list             list shipped scenario names and exit
+//   nb_run --json PATH        write the JSON artifact to PATH
+//                             (default BENCH_scenarios.json)
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "scenarios/registry.h"
+#include "scenarios/scenario.h"
+
+int main(int argc, char** argv) {
+    using namespace nb;
+
+    std::string json_path = "BENCH_scenarios.json";
+    std::vector<std::string> names;
+    bool list_only = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --json needs a path\n";
+                return 2;
+            }
+            json_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: nb_run [--list] [--json PATH] [scenario ...]\n";
+            return 0;
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::cerr << "error: unknown option " << arg << " (try --help)\n";
+            return 2;
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    if (list_only) {
+        for (const auto& spec : scenarios::shipped_scenarios()) {
+            std::cout << spec.name << "  —  " << spec.description << '\n';
+        }
+        return 0;
+    }
+
+    std::vector<ScenarioSpec> specs;
+    if (names.empty()) {
+        specs = scenarios::shipped_scenarios();
+    } else {
+        for (const auto& name : names) {
+            const ScenarioSpec* spec = scenarios::find_scenario(name);
+            if (spec == nullptr) {
+                std::cerr << "error: unknown scenario '" << name << "' (see --list)\n";
+                return 2;
+            }
+            specs.push_back(*spec);
+        }
+    }
+
+    bench::header("nb_run", "unified scenario runner",
+                  "declarative scenarios (topology x channel x faults x workload) "
+                  "through one execution path and one JSON schema");
+
+    std::vector<ScenarioResult> results;
+    results.reserve(specs.size());
+    Table table({"scenario", "transport", "channel", "n", "Delta", "rounds", "perfect",
+                 "beeps/round", "p1 FN", "p1 FP", "p2 err", "rounds/s"});
+    for (const auto& spec : specs) {
+        ScenarioResult result = run_scenario(spec);
+        table.add_row({result.name, result.transport, result.channel,
+                       Table::num(result.node_count), Table::num(result.max_degree),
+                       Table::num(result.rounds), Table::num(result.perfect_rounds),
+                       Table::num(result.beep_rounds_per_round),
+                       Table::num(result.phase1_false_negatives),
+                       Table::num(result.phase1_false_positives),
+                       Table::num(result.phase2_errors),
+                       Table::num(result.rounds_per_second, 1)});
+        results.push_back(std::move(result));
+    }
+    table.print(std::cout, "scenario results");
+
+    // Unlike the benches (which exit 0 unconditionally so unattended
+    // experiment runs never wedge), the JSON artifact is this tool's
+    // contract: a missing or truncated file must fail the CI job.
+    const bool wrote = bench::write_json_file(json_path, [&](JsonWriter& json) {
+        scenario_results_json(json, results);
+    });
+    return wrote ? 0 : 1;
+}

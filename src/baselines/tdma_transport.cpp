@@ -35,6 +35,11 @@ TdmaTransport::TdmaTransport(const Graph& graph, TdmaParams params)
             "TdmaTransport: epsilon must be in [0, 1/2)");
     require(params_.message_bits >= 1, "TdmaTransport: message_bits must be >= 1");
     require(params_.repetitions >= 1, "TdmaTransport: repetitions must be >= 1");
+    if (params_.channel.has_value()) {
+        params_.channel->validate();
+        require(params_.channel->noise_on_own_beep,
+                "TdmaTransport: transports require noise_on_own_beep");
+    }
     colors_ = greedy_distance2_coloring(graph_);
     color_count_ = graph_.node_count() == 0 ? 0 : nb::color_count(colors_);
     pool_ = std::make_unique<ThreadPool>(
@@ -122,7 +127,7 @@ TransportRound TdmaTransport::decode_round(const ScheduleCache& cache,
     const std::size_t slot_bits = payload_bits * params_.repetitions;
 
     const Rng round_rng = Rng(params_.transport_seed).derive(0x726f756eu, round_nonce);
-    const BatchParams channel{ChannelParams{params_.epsilon, true}, false};
+    const BatchParams channel{params_.channel_model(), false};
     const BatchEngine engine(graph_, channel, round_rng);
     engine.check_schedules(cache.schedules);  // once per round, not per node
 

@@ -20,8 +20,10 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "beep/channel_model.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "sim/transport.h"
@@ -29,11 +31,21 @@
 namespace nb {
 
 struct TdmaParams {
-    double epsilon = 0.0;          ///< channel noise
+    double epsilon = 0.0;          ///< design noise rate (sizes repetitions)
     std::size_t message_bits = 16; ///< algorithm message budget B
     std::size_t repetitions = 1;   ///< per-bit repetitions (majority decode)
     std::uint64_t transport_seed = 0x74646d61u;
     std::size_t threads = 0;       ///< decode workers (0 = hardware concurrency)
+
+    /// Physical channel process; nullopt = iid(epsilon), exactly as before.
+    /// Like SimulationParams, a non-iid model leaves `epsilon` as the design
+    /// rate the majority-decode repetitions are sized for.
+    std::optional<ChannelModel> channel;
+
+    /// The effective channel driven through BatchEngine.
+    ChannelModel channel_model() const {
+        return channel.has_value() ? *channel : ChannelModel::iid(epsilon);
+    }
 
     /// Repetitions giving w.h.p. decoding for a given n and epsilon:
     /// ceil(kappa * log2 n) with kappa scaled by the noise margin.

@@ -5,7 +5,7 @@
 namespace nb {
 
 BatchEngine::BatchEngine(const Graph& graph, BatchParams params, Rng rng)
-    : graph_(graph), params_(params), rng_(rng) {
+    : graph_(graph), params_(std::move(params)), rng_(rng) {
     params_.channel.validate();
     // The batch engine cannot exempt own-beep rounds from noise without
     // tracking them per bit; the paper's default convention (own beeps are
@@ -48,13 +48,12 @@ Bitstring BatchEngine::hear(NodeId node, const std::vector<Bitstring>& schedules
 void BatchEngine::hear_into(NodeId node, const std::vector<Bitstring>& schedules,
                             Bitstring& out) const {
     superimpose_into(node, schedules, out, /*include_own=*/true);
-    if (params_.channel.epsilon > 0.0) {
-        Rng noise = rng_.derive(0x6e6f6973u, node);
-        if (params_.dense_noise) {
-            out.apply_noise_dense(noise, params_.channel.epsilon);
-        } else {
-            out.apply_noise(noise, params_.channel.epsilon);
-        }
+    if (!params_.channel.noiseless()) {
+        // The sampler consumes the same derived per-node stream the
+        // original iid path did, so iid outputs are bit-identical and every
+        // node's noise stays independent of evaluation order.
+        ChannelNoiseSampler noise(params_.channel, node, rng_.derive(0x6e6f6973u, node));
+        noise.apply(out, params_.dense_noise);
     }
 }
 

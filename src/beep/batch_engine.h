@@ -15,7 +15,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "beep/channel.h"
+#include "beep/channel_model.h"
 #include "common/bitstring.h"
 #include "common/rng.h"
 #include "graph/graph.h"
@@ -23,12 +23,15 @@
 namespace nb {
 
 struct BatchParams {
-    ChannelParams channel;
+    /// Any ChannelModel (ChannelParams converts implicitly for the paper's
+    /// i.i.d. model). Must keep noise_on_own_beep — this engine cannot
+    /// exempt own-beep rounds without tracking them per bit.
+    ChannelModel channel;
 
-    /// If true, noise consumes one Bernoulli draw per bit (matching
-    /// RoundEngine's draw pattern exactly, for cross-validation); if false,
-    /// the default geometric skip sampler is used (same distribution,
-    /// O(#flips) expected work).
+    /// If true, iid/heterogeneous noise consumes one Bernoulli draw per bit
+    /// (matching RoundEngine's draw pattern exactly, for cross-validation);
+    /// if false, the geometric skip sampler is used (same distribution,
+    /// O(#flips) expected work). Stateful models are inherently dense.
     bool dense_noise = false;
 };
 

@@ -9,6 +9,11 @@
 // flipped by noise — a harmless pessimism that simplifies the proofs. We
 // reproduce that convention by default and expose the practical variant
 // (a node knows with certainty that it beeped) as an option.
+//
+// ChannelParams describes the paper's i.i.d. model only; the engines
+// actually consume the richer ChannelModel (beep/channel_model.h), into
+// which ChannelParams converts implicitly. Non-i.i.d. processes (bursty,
+// per-node heterogeneous, adversarial) are constructed there.
 #pragma once
 
 #include "common/error.h"

@@ -5,7 +5,7 @@
 
 namespace nb {
 
-RoundEngine::RoundEngine(const Graph& graph, ChannelParams channel, Rng rng)
+RoundEngine::RoundEngine(const Graph& graph, ChannelModel channel, Rng rng)
     : graph_(graph), channel_(channel), rng_(rng) {
     channel_.validate();
 }
@@ -20,17 +20,20 @@ RunStats RoundEngine::run(std::vector<std::unique_ptr<BeepAlgorithm>>& nodes,
 
     const NetworkInfo info{n, graph_.max_degree()};
     // Private per-node randomness, independent of the channel-noise streams.
-    // Noise is drawn from one derived stream per node so that an oblivious
-    // schedule run here produces bit-identical noise to BatchEngine in dense
-    // mode (see BatchParams::dense_noise).
+    // Noise comes from one ChannelNoiseSampler per node, seeded from the
+    // node's derived stream, so that an oblivious schedule run here produces
+    // bit-identical noise to BatchEngine in dense mode (see
+    // BatchParams::dense_noise); stateful models (burst phase, adversary
+    // budget) keep their state inside the sampler.
     std::vector<Rng> node_rngs;
-    std::vector<Rng> noise_rngs;
+    std::vector<ChannelNoiseSampler> samplers;
     node_rngs.reserve(n);
-    noise_rngs.reserve(n);
+    samplers.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
         node_rngs.push_back(rng_.derive(0x6e6f6465u, v));
-        noise_rngs.push_back(rng_.derive(0x6e6f6973u, v));
+        samplers.emplace_back(channel_, v, rng_.derive(0x6e6f6973u, v));
     }
+    const bool noisy = !channel_.noiseless();
 
     for (NodeId v = 0; v < n; ++v) {
         nodes[v]->initialize(v, info, node_rngs[v]);
@@ -78,8 +81,8 @@ RunStats RoundEngine::run(std::vector<std::unique_ptr<BeepAlgorithm>>& nodes,
                     }
                 }
             }
-            if (channel_.epsilon > 0.0 && (!beeped || channel_.noise_on_own_beep) &&
-                noise_rngs[v].bernoulli(channel_.epsilon)) {
+            if (noisy && (!beeped || channel_.noise_on_own_beep) &&
+                samplers[v].flip_next(received)) {
                 received = !received;
             }
             nodes[v]->receive(round, received, node_rngs[v]);

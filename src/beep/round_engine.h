@@ -11,7 +11,7 @@
 #include <memory>
 #include <vector>
 
-#include "beep/channel.h"
+#include "beep/channel_model.h"
 #include "common/rng.h"
 #include "graph/graph.h"
 
@@ -51,8 +51,9 @@ struct RunStats {
 
 class RoundEngine {
 public:
-    /// The graph must outlive the engine.
-    RoundEngine(const Graph& graph, ChannelParams channel, Rng rng);
+    /// The graph must outlive the engine. `channel` is any ChannelModel
+    /// (ChannelParams converts implicitly for the paper's i.i.d. model).
+    RoundEngine(const Graph& graph, ChannelModel channel, Rng rng);
 
     /// Run all node algorithms until every node is finished or `max_rounds`
     /// is reached. `nodes` must contain exactly graph.node_count() entries.
@@ -60,7 +61,7 @@ public:
 
 private:
     const Graph& graph_;
-    ChannelParams channel_;
+    ChannelModel channel_;
     Rng rng_;
 };
 

@@ -1,0 +1,171 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace nb {
+
+JsonWriter::JsonWriter(std::ostream& out, int indent) : out_(out), indent_(indent) {}
+
+void JsonWriter::newline_indent() {
+    if (indent_ <= 0) {
+        return;
+    }
+    out_ << '\n';
+    for (std::size_t level = 0; level < scopes_.size(); ++level) {
+        for (int space = 0; space < indent_; ++space) {
+            out_ << ' ';
+        }
+    }
+}
+
+void JsonWriter::before_value() {
+    if (scopes_.empty()) {
+        require(!key_pending_, "JsonWriter: key at top level");
+        return;  // the single top-level value
+    }
+    if (scopes_.back() == Scope::object) {
+        require(key_pending_, "JsonWriter: object values need a key");
+        key_pending_ = false;
+        return;  // key() already emitted the separator and the key
+    }
+    require(!key_pending_, "JsonWriter: key inside an array");
+    if (has_items_.back()) {
+        out_ << ',';
+    }
+    has_items_.back() = true;
+    newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    before_value();
+    out_ << '{';
+    scopes_.push_back(Scope::object);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    before_value();
+    out_ << '[';
+    scopes_.push_back(Scope::array);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    require(!scopes_.empty() && scopes_.back() == Scope::object && !key_pending_,
+            "JsonWriter: end_object outside an object");
+    const bool had_items = has_items_.back();
+    scopes_.pop_back();
+    has_items_.pop_back();
+    if (had_items) {
+        newline_indent();
+    }
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    require(!scopes_.empty() && scopes_.back() == Scope::array,
+            "JsonWriter: end_array outside an array");
+    const bool had_items = has_items_.back();
+    scopes_.pop_back();
+    has_items_.pop_back();
+    if (had_items) {
+        newline_indent();
+    }
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+    require(!scopes_.empty() && scopes_.back() == Scope::object,
+            "JsonWriter: key outside an object");
+    require(!key_pending_, "JsonWriter: two keys in a row");
+    if (has_items_.back()) {
+        out_ << ',';
+    }
+    has_items_.back() = true;
+    newline_indent();
+    out_ << '"' << escaped(name) << "\": ";
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+    before_value();
+    out_ << '"' << escaped(text) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+    before_value();
+    if (!std::isfinite(number)) {
+        out_ << "null";  // JSON has no NaN/Inf
+        return *this;
+    }
+    // Shortest round-trippable-enough form: %.12g drops float noise while
+    // keeping every digit a bench or scenario result meaningfully carries.
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.12g", number);
+    out_ << buffer;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+    before_value();
+    out_ << number;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+    before_value();
+    out_ << number;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+    before_value();
+    out_ << (flag ? "true" : "false");
+    return *this;
+}
+
+std::string JsonWriter::escaped(std::string_view text) {
+    std::string result;
+    result.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"':
+                result += "\\\"";
+                break;
+            case '\\':
+                result += "\\\\";
+                break;
+            case '\n':
+                result += "\\n";
+                break;
+            case '\t':
+                result += "\\t";
+                break;
+            case '\r':
+                result += "\\r";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    result += buffer;
+                } else {
+                    result += c;
+                }
+        }
+    }
+    return result;
+}
+
+}  // namespace nb

@@ -1,0 +1,68 @@
+// Minimal streaming JSON writer.
+//
+// One serializer backs every machine-readable artifact this repo emits
+// (BENCH_transport.json, BENCH_scenarios.json, any future bench output):
+// the benches and the scenario runner all drive this writer instead of
+// hand-formatting braces, so escaping, number formatting, and comma/indent
+// discipline exist exactly once. Write-only by design — nothing in the
+// library consumes JSON.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nb {
+
+/// Structured writer with begin/end pairs for objects and arrays. Values in
+/// an object must be preceded by key(); values in an array are appended
+/// directly. Misuse (a key at array scope, a value without a key at object
+/// scope, unbalanced ends) throws precondition_error.
+class JsonWriter {
+public:
+    /// Writes to `out`, which must outlive the writer. `indent` spaces per
+    /// nesting level; 0 emits compact single-line JSON.
+    explicit JsonWriter(std::ostream& out, int indent = 2);
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Key for the next value/container; object scope only.
+    JsonWriter& key(std::string_view name);
+
+    JsonWriter& value(std::string_view text);
+    JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+    JsonWriter& value(double number);
+    JsonWriter& value(std::uint64_t number);
+    JsonWriter& value(std::int64_t number);
+    JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+    JsonWriter& value(bool flag);
+
+    /// key() + value() in one call.
+    template <typename T>
+    JsonWriter& kv(std::string_view name, const T& v) {
+        key(name);
+        return value(v);
+    }
+
+    /// RFC 8259 string escaping (quotes, backslash, control characters).
+    static std::string escaped(std::string_view text);
+
+private:
+    enum class Scope : unsigned char { array, object };
+
+    void before_value();
+    void newline_indent();
+
+    std::ostream& out_;
+    int indent_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> has_items_;
+    bool key_pending_ = false;
+};
+
+}  // namespace nb

@@ -1,0 +1,35 @@
+// Named scenario registry: the shipped specs `nb_run` executes, plus the
+// spec builders the migrated sweep benches (E5/E6/E11) share with it —
+// a bench sweep point and the registered spec of the same name are the
+// same ScenarioSpec value, so their numbers agree by construction.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scenarios/scenario.h"
+
+namespace nb::scenarios {
+
+/// E5 (Theorem 11, Delta-scaling): one sweep point at the given degree on
+/// the n=256 near-regular graph, on either transport.
+ScenarioSpec e5_overhead_point(std::size_t degree, TransportKind transport);
+
+/// E6 (Theorem 11, n-scaling): one sweep point at the given node count,
+/// degree ~8.
+ScenarioSpec e6_overhead_point(std::size_t n);
+
+/// E11 (Section 1.3 noise sweep): n=64, Delta~8, the given noise rate and
+/// constant, 8 rounds.
+ScenarioSpec e11_noise_point(double epsilon, std::size_t c_eps);
+
+/// All shipped specs, in display order: the bench-mirror points above plus
+/// the non-i.i.d. channel showcases (Gilbert-Elliott bursts, PODS-style
+/// per-node heterogeneity, adversarial erasure budgets) and a fault-window
+/// scenario. Names are unique.
+const std::vector<ScenarioSpec>& shipped_scenarios();
+
+/// The shipped spec with this name, or nullptr.
+const ScenarioSpec* find_scenario(std::string_view name);
+
+}  // namespace nb::scenarios

@@ -60,6 +60,11 @@ SimulatedRunStats BroadcastCongestOverBeeps::run(
         // inherently sequential (round r+1's messages depend on round r's
         // deliveries), so the batch cannot grow beyond one round here — but
         // the call still rides the batched path's hoisted setup.
+        //
+        // RoundSpec::messages is non-owning: `outbox` must stay alive and
+        // unmodified until simulate_rounds returns. It does — outbox is
+        // declared outside the loop and only rewritten after the call, once
+        // deliveries have been handed to the algorithms.
         const RoundSpec spec{&outbox, round, nullptr};
         const TransportRound delivery = std::move(transport_->simulate_rounds({&spec, 1}).front());
         ++stats.congest_rounds;

@@ -105,7 +105,12 @@ public:
     };
 
     /// The cached round for (messages, nonce), rebuilt only when the key
-    /// differs from the previously returned one. Thread-safe.
+    /// differs from the previously returned one. Thread-safe. The key needs
+    /// no channel component: a Round is channel-independent by construction
+    /// (codewords, schedules, and dictionaries are what nodes *transmit*;
+    /// the ChannelModel perturbs transcripts at hear time, from streams
+    /// derived off round.rng by the engines), and the channel itself is
+    /// fixed per transport.
     std::shared_ptr<const Round> round(const std::vector<std::optional<Bitstring>>& messages,
                                        std::uint64_t nonce) const;
 

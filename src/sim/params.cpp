@@ -12,6 +12,13 @@ void SimulationParams::validate() const {
             "SimulationParams: epsilon must be in [0, 1/2)");
     require(message_bits >= 1, "SimulationParams: message_bits must be >= 1");
     require(c_eps >= 3, "SimulationParams: c_eps must be >= 3");
+    if (channel.has_value()) {
+        channel->validate();
+        // BatchEngine (the transports' only engine) supports the paper
+        // convention only.
+        require(channel->noise_on_own_beep,
+                "SimulationParams: transports require noise_on_own_beep");
+    }
 }
 
 std::size_t SimulationParams::paper_c_eps(double epsilon) {

@@ -18,6 +18,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+
+#include "beep/channel_model.h"
 
 namespace nb {
 
@@ -35,8 +38,19 @@ enum class DictionaryPolicy {
 };
 
 struct SimulationParams {
-    /// Channel-noise probability in [0, 1/2).
+    /// Design noise rate in [0, 1/2): the epsilon the decoder thresholds
+    /// (Lemma 9 acceptance, paper_c_eps) are sized for. With the default
+    /// `channel` (nullopt) it is also the physical channel's iid flip rate —
+    /// the paper's model, where the two coincide.
     double epsilon = 0.0;
+
+    /// The physical channel process. nullopt (default) means the paper's
+    /// iid(epsilon) channel — existing epsilon-only call sites behave
+    /// exactly as before. A non-iid model decouples the physical channel
+    /// from the design epsilon above; the decoders keep their iid-designed
+    /// thresholds and the diagnostics measure what survives (DESIGN.md
+    /// section 6).
+    std::optional<ChannelModel> channel;
 
     /// Per-message bit budget B = gamma * ceil(log2 n).
     std::size_t message_bits = 16;
@@ -73,6 +87,12 @@ struct SimulationParams {
 
     /// Validate ranges; throws precondition_error.
     void validate() const;
+
+    /// The effective channel the transports drive the engines with:
+    /// `channel` if set, else the paper's iid(epsilon).
+    ChannelModel channel_model() const {
+        return channel.has_value() ? *channel : ChannelModel::iid(epsilon);
+    }
 
     /// The paper-proof constant for this epsilon: the max of the bounds
     /// required by Lemmas 8, 9 and 10 (and the c_eps >= 108 blanket choice

@@ -31,7 +31,9 @@ std::vector<NodeState> build_node_states(std::size_t n, const FaultModel& faults
     }
     for (const auto v : faults.crashed) {
         require(v < n, "BeepTransport: crashed id out of range");
-        require(state[v] == NodeState::correct, "BeepTransport: node cannot jam and crash");
+        // Duplicate entries within one list are idempotent; only the
+        // contradictory jammer+crashed combination is rejected.
+        require(state[v] != NodeState::jammer, "BeepTransport: node cannot jam and crash");
         state[v] = NodeState::crashed;
     }
     return state;
@@ -160,7 +162,10 @@ TransportRound BeepTransport::decode_round(const Codebook::Round& round, const R
         phase2_schedules = &faulty_phase2;
     }
 
-    const BatchParams channel{ChannelParams{params_.epsilon, true}, false};
+    // The physical channel: iid(params_.epsilon) by default, or whatever
+    // ChannelModel the params carry. Decoder thresholds below keep using the
+    // design epsilon regardless of the physical model.
+    const BatchParams channel{params_.channel_model(), false};
     const BatchEngine phase1_engine(graph_, channel, round.rng.derive(0x70683161u));
     const BatchEngine phase2_engine(graph_, channel, round.rng.derive(0x70683262u));
     // Schedule sets are validated once per round here, not once per node

@@ -65,10 +65,13 @@ struct TransportRound {
     bool perfect = true;                     ///< delivery_mismatches == 0
 };
 
-/// One round of a batched simulation: the messages (non-owning — they must
-/// outlive the simulate_rounds call), the per-round nonce, and an optional
-/// fault model (nullptr = fault-free). Sweeps typically share one messages
-/// vector across many specs and vary only the nonce.
+/// One round of a batched simulation: the messages (non-owning and never
+/// null — implementations require() it per spec, and the pointee must
+/// outlive the simulate_rounds call, including the pipelined build of later
+/// rounds), the per-round nonce, and an optional fault model (nullptr =
+/// fault-free, otherwise also non-owning with the same lifetime contract).
+/// Sweeps typically share one messages vector across many specs and vary
+/// only the nonce.
 struct RoundSpec {
     const std::vector<std::optional<Bitstring>>* messages = nullptr;
     std::uint64_t nonce = 0;

@@ -5,6 +5,7 @@
 // damage their own neighborhood.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <optional>
 
 #include "common/error.h"
@@ -136,10 +137,80 @@ TEST(Faults, ValidationRejectsBadIds) {
     FaultModel out_of_range;
     out_of_range.jammers = {5};
     EXPECT_THROW(transport.simulate_round(messages, 0, out_of_range), precondition_error);
+    // A node listed as both jammer and crashed is contradictory — rejected
+    // up front, on the single-round and the batched path alike.
     FaultModel both;
     both.jammers = {1};
     both.crashed = {1};
     EXPECT_THROW(transport.simulate_round(messages, 0, both), precondition_error);
+    const RoundSpec spec{&messages, 0, &both};
+    EXPECT_THROW(transport.simulate_rounds({&spec, 1}), precondition_error);
+}
+
+TEST(Faults, DuplicateListingsAreIdempotent) {
+    // The same node twice in one fault list means the fault once, not an
+    // error: only the jam+crash contradiction is rejected.
+    const Graph g = make_path(5);
+    const BeepTransport transport(g, params_for(0.0));
+    const auto messages = all_messages_for(g, 10, 23);
+    FaultModel duplicated;
+    duplicated.jammers = {0, 0};
+    duplicated.crashed = {2, 2};
+    FaultModel plain;
+    plain.jammers = {0};
+    plain.crashed = {2};
+    const auto a = transport.simulate_round(messages, 1, duplicated);
+    const auto b = transport.simulate_round(messages, 1, plain);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.phase1_false_positives, b.phase1_false_positives);
+    EXPECT_EQ(a.delivery_mismatches, b.delivery_mismatches);
+}
+
+TEST(Faults, BatchedBitslicedThreadCountsAgree) {
+    // Faults combined with batching and with the bitsliced phase-1 kernel
+    // forced on: outputs must be identical for 1 vs N workers and for the
+    // bitsliced vs scalar kernel (jammer transcripts are the all-ones edge
+    // case of the vertical counters).
+    Rng rng(29);
+    const Graph g = make_erdos_renyi(28, 0.22, rng);
+    const auto messages = all_messages_for(g, 10, 31);
+    FaultModel faults;
+    faults.jammers = {4};
+    faults.crashed = {9, 17};
+
+    auto make_params = [](std::size_t threads, std::size_t bitslice_min) {
+        SimulationParams params;
+        params.epsilon = 0.1;
+        params.message_bits = 10;
+        params.c_eps = 4;
+        params.dictionary = DictionaryPolicy::all_nodes;
+        params.bitslice_min_candidates = bitslice_min;
+        params.threads = threads;
+        return params;
+    };
+    const BeepTransport sliced_serial(g, make_params(1, 0));
+    const BeepTransport sliced_threaded(g, make_params(4, 0));
+    const BeepTransport scalar_serial(
+        g, make_params(1, std::numeric_limits<std::size_t>::max()));
+
+    std::vector<RoundSpec> specs;
+    for (std::uint64_t nonce = 0; nonce < 3; ++nonce) {
+        specs.push_back(RoundSpec{&messages, nonce, nonce == 1 ? nullptr : &faults});
+    }
+    const auto a = sliced_serial.simulate_rounds(specs);
+    const auto b = sliced_threaded.simulate_rounds(specs);
+    const auto c = scalar_serial.simulate_rounds(specs);
+    ASSERT_EQ(a.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(a[i].delivered, b[i].delivered) << "round " << i;
+        EXPECT_EQ(a[i].phase1_false_negatives, b[i].phase1_false_negatives);
+        EXPECT_EQ(a[i].phase1_false_positives, b[i].phase1_false_positives);
+        EXPECT_EQ(a[i].phase2_errors, b[i].phase2_errors);
+        EXPECT_EQ(a[i].delivery_mismatches, b[i].delivery_mismatches);
+        EXPECT_EQ(a[i].delivered, c[i].delivered) << "round " << i;
+        EXPECT_EQ(a[i].phase1_false_positives, c[i].phase1_false_positives);
+        EXPECT_EQ(a[i].delivery_mismatches, c[i].delivery_mismatches);
+    }
 }
 
 TEST(Faults, ManyCrashesStillDeliverAmongSurvivors) {

@@ -174,6 +174,32 @@ TEST_F(TransportEquivalence, BitslicedDecoderMatchesGoldenFingerprints) {
     EXPECT_EQ(batched_fingerprint(transport, messages_, faults_), kGoldenAllNodesFaults);
 }
 
+TEST_F(TransportEquivalence, ExplicitIidChannelMatchesGoldenFingerprints) {
+    // Carrying the channel as an explicit ChannelModel::iid instead of the
+    // legacy epsilon-only configuration must not change a single bit: the
+    // ChannelModel refactor is golden-pinned for the paper's channel.
+    SimulationParams params = noisy_params(DictionaryPolicy::two_hop);
+    params.channel = ChannelModel::iid(params.epsilon);
+    const BeepTransport transport(graph_, params);
+    EXPECT_EQ(run_fingerprint(transport, messages_, FaultModel{}), kGoldenTwoHopPlain);
+    EXPECT_EQ(run_fingerprint(transport, messages_, faults_), kGoldenTwoHopFaults);
+}
+
+TEST_F(TransportEquivalence, NullMessagesAreRejectedPerSpec) {
+    // RoundSpec::messages is a non-owning pointer; both transports must
+    // require() it non-null per spec instead of dereferencing.
+    const BeepTransport transport(graph_, noisy_params(DictionaryPolicy::two_hop));
+    const RoundSpec good{&messages_, 0, nullptr};
+    const RoundSpec null_spec{nullptr, 1, nullptr};
+    const std::vector<RoundSpec> specs{good, null_spec};
+    EXPECT_THROW(transport.simulate_rounds(specs), precondition_error);
+
+    TdmaParams tdma_params;
+    tdma_params.message_bits = 10;
+    const TdmaTransport tdma(graph_, tdma_params);
+    EXPECT_THROW(tdma.simulate_rounds({&null_spec, 1}), precondition_error);
+}
+
 TEST_F(TransportEquivalence, BatchSizeOneMatchesSimulateRound) {
     for (const auto policy : {DictionaryPolicy::two_hop, DictionaryPolicy::all_nodes}) {
         const BeepTransport transport(graph_, noisy_params(policy));
