@@ -4,39 +4,164 @@
 // specs), prints one consistent table, and writes BENCH_scenarios.json in
 // the nb-scenarios/v1 schema (the same serializer the tests pin). Every
 // "what if the channel / topology / faults were X" question is a spec here,
-// not a new binary.
+// not a new binary — and every family of such questions is a sweep.
 //
 //   nb_run                    run all shipped scenarios
 //   nb_run ge-burst e6-n256   run the named scenarios only
 //   nb_run --list             list shipped scenario names and exit
 //   nb_run --json PATH        write the JSON artifact to PATH
-//                             (default BENCH_scenarios.json)
+//                             (default BENCH_scenarios.json, or
+//                             BENCH_sweep.json with --sweep)
+//   nb_run --sweep            run the scenarios (all shipped, or the named
+//                             ones) as a parallel sweep, crossed with the
+//                             --seeds / --eps axes, and write the
+//                             nb-sweep/v1 artifact (byte-identical for any
+//                             --workers value)
+//   nb_run --workers N        sweep worker threads (0 = hardware)
+//   nb_run --seeds 1,2,3      workload-seed axis (default 1,2,3)
+//   nb_run --eps 0.05,0.1     optional iid noise-rate axis
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/error.h"
 #include "scenarios/registry.h"
 #include "scenarios/scenario.h"
+#include "scenarios/sweep.h"
+
+namespace {
+
+/// Parse "a,b,c" with the given per-item parser; exits with a usage error on
+/// malformed input (this is a CLI boundary, not library validation).
+template <typename T, typename Parse>
+std::vector<T> parse_list(const std::string& arg, const char* flag, Parse parse) {
+    std::vector<T> values;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        const std::size_t comma = arg.find(',', start);
+        const std::string item =
+            arg.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        char* end = nullptr;
+        values.push_back(parse(item.c_str(), &end));
+        if (item.empty() || end == nullptr || *end != '\0') {
+            std::cerr << "error: " << flag << " expects a comma-separated list, got '"
+                      << arg << "'\n";
+            std::exit(2);
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    return values;
+}
+
+int run_sweep_mode(const std::vector<nb::ScenarioSpec>& specs, bool named_subset,
+                   const std::string& json_path, std::size_t workers,
+                   std::vector<std::uint64_t> seeds, std::vector<double> epsilons) {
+    using namespace nb;
+
+    SweepSpec sweep = scenarios::shipped_sweep(std::move(seeds));
+    if (named_subset) {
+        sweep.name = "named-x-seeds";
+        sweep.bases = specs;
+    }
+    sweep.axes.epsilons = std::move(epsilons);
+
+    bench::header("nb_run --sweep", "parallel scenario sweep",
+                  "one SweepSpec expands to scenario jobs executed across workers; "
+                  "aggregation is keyed by job index, so the artifact is "
+                  "byte-identical for any worker count, and concurrent jobs share "
+                  "codebook builds through the process-wide cache");
+
+    SweepOptions options;
+    options.workers = workers;
+    SweepResult result;
+    try {
+        result = run_sweep(sweep, options);
+    } catch (const precondition_error& error) {
+        // Semantic errors in the assembled sweep (duplicate scenario names,
+        // an --eps value outside [0, 1/2), ...) are CLI-input errors here,
+        // not programming bugs: report and exit like any other usage error.
+        std::cerr << "error: " << error.what() << '\n';
+        return 2;
+    }
+
+    Table table({"job", "transport", "channel", "n", "rounds", "perfect", "p1 FN", "p1 FP",
+                 "p2 err"});
+    for (const auto& r : result.results) {
+        table.add_row({r.name, r.transport, r.channel, Table::num(r.node_count),
+                       Table::num(r.rounds), Table::num(r.perfect_rounds),
+                       Table::num(r.phase1_false_negatives),
+                       Table::num(r.phase1_false_positives), Table::num(r.phase2_errors)});
+    }
+    table.print(std::cout, "sweep results (" + std::to_string(result.jobs) + " jobs, " +
+                               std::to_string(result.workers) + " workers)");
+
+    std::cout << "codebook cache: " << result.cache.builds << " builds, "
+              << result.cache.hits << " hits (" << result.cache.coloring_builds
+              << " coloring builds, " << result.cache.coloring_hits
+              << " coloring hits) across " << result.jobs << " jobs; wall "
+              << result.wall_seconds << " s\n\n";
+
+    const bool wrote = nb::bench::write_json_file(json_path, [&](JsonWriter& json) {
+        sweep_results_json(json, result);
+    });
+    return wrote ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace nb;
 
-    std::string json_path = "BENCH_scenarios.json";
+    std::string json_path;
     std::vector<std::string> names;
     bool list_only = false;
+    bool sweep_mode = false;
+    const char* sweep_only_flag = nullptr;  // first axis/worker flag seen
+    std::size_t workers = 0;
+    std::vector<std::uint64_t> seeds = {1, 2, 3};
+    std::vector<double> epsilons;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        auto flag_value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
         if (arg == "--list") {
             list_only = true;
         } else if (arg == "--json") {
-            if (i + 1 >= argc) {
-                std::cerr << "error: --json needs a path\n";
+            json_path = flag_value("--json");
+        } else if (arg == "--sweep") {
+            sweep_mode = true;
+        } else if (arg == "--workers") {
+            sweep_only_flag = "--workers";
+            const std::string value = flag_value("--workers");
+            char* end = nullptr;
+            workers = static_cast<std::size_t>(std::strtoull(value.c_str(), &end, 10));
+            if (value.empty() || end == nullptr || *end != '\0') {
+                std::cerr << "error: --workers expects a number, got '" << value << "'\n";
                 return 2;
             }
-            json_path = argv[++i];
+        } else if (arg == "--seeds") {
+            sweep_only_flag = "--seeds";
+            seeds = parse_list<std::uint64_t>(
+                flag_value("--seeds"), "--seeds",
+                [](const char* s, char** end) { return std::strtoull(s, end, 10); });
+        } else if (arg == "--eps") {
+            sweep_only_flag = "--eps";
+            epsilons = parse_list<double>(
+                flag_value("--eps"), "--eps",
+                [](const char* s, char** end) { return std::strtod(s, end); });
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: nb_run [--list] [--json PATH] [scenario ...]\n";
+            std::cout << "usage: nb_run [--list] [--json PATH] [--sweep] [--workers N]\n"
+                         "              [--seeds 1,2,3] [--eps 0.05,0.1] [scenario ...]\n";
             return 0;
         } else if (!arg.empty() && arg.front() == '-') {
             std::cerr << "error: unknown option " << arg << " (try --help)\n";
@@ -44,6 +169,15 @@ int main(int argc, char** argv) {
         } else {
             names.push_back(arg);
         }
+    }
+    if (json_path.empty()) {
+        json_path = sweep_mode ? "BENCH_sweep.json" : "BENCH_scenarios.json";
+    }
+    if (sweep_only_flag != nullptr && !sweep_mode) {
+        // Silently ignoring an axis flag would hand back results for the
+        // wrong configuration with exit code 0.
+        std::cerr << "error: " << sweep_only_flag << " requires --sweep\n";
+        return 2;
     }
 
     if (list_only) {
@@ -65,6 +199,11 @@ int main(int argc, char** argv) {
             }
             specs.push_back(*spec);
         }
+    }
+
+    if (sweep_mode) {
+        return run_sweep_mode(specs, /*named_subset=*/!names.empty(), json_path, workers,
+                              std::move(seeds), std::move(epsilons));
     }
 
     bench::header("nb_run", "unified scenario runner",

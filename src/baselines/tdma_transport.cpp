@@ -8,6 +8,7 @@
 #include "common/math_util.h"
 #include "congest/algorithm.h"
 #include "graph/algorithms.h"
+#include "sim/codebook_cache.h"
 
 namespace nb {
 
@@ -40,7 +41,8 @@ TdmaTransport::TdmaTransport(const Graph& graph, TdmaParams params)
         require(params_.channel->noise_on_own_beep,
                 "TdmaTransport: transports require noise_on_own_beep");
     }
-    colors_ = greedy_distance2_coloring(graph_);
+    colors_ = params_.shared_coloring ? CodebookCache::instance().coloring(graph_)
+                                      : greedy_distance2_coloring(graph_);
     color_count_ = graph_.node_count() == 0 ? 0 : nb::color_count(colors_);
     pool_ = std::make_unique<ThreadPool>(
         ThreadPool::worker_count_for(params_.threads, graph_.node_count()));

@@ -42,6 +42,12 @@ struct TdmaParams {
     /// rate the majority-decode repetitions are sized for.
     std::optional<ChannelModel> channel;
 
+    /// Fetch the greedy G^2 coloring (this baseline's expensive setup) from
+    /// the process-wide CodebookCache instead of recomputing per transport.
+    /// The coloring is a pure function of the graph, so sharing cannot
+    /// change any output; false restores the private computation.
+    bool shared_coloring = true;
+
     /// The effective channel driven through BatchEngine.
     ChannelModel channel_model() const {
         return channel.has_value() ? *channel : ChannelModel::iid(epsilon);
@@ -69,6 +75,8 @@ public:
     const Graph& graph() const noexcept override { return graph_; }
 
     std::size_t color_count() const noexcept { return color_count_; }
+    /// The G^2 coloring the slot schedule is built from (one color per node).
+    const std::vector<std::size_t>& colors() const noexcept { return colors_; }
     const TdmaParams& params() const noexcept { return params_; }
 
 private:

@@ -1,5 +1,6 @@
 #include "common/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -7,6 +8,14 @@
 #include "common/error.h"
 
 namespace nb {
+
+std::string format_double(double number) {
+    require(std::isfinite(number), "format_double: value must be finite");
+    char buffer[32];
+    const auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer, number);
+    require(ec == std::errc(), "format_double: formatting failed");
+    return std::string(buffer, end);
+}
 
 JsonWriter::JsonWriter(std::ostream& out, int indent) : out_(out), indent_(indent) {}
 
@@ -105,14 +114,14 @@ JsonWriter& JsonWriter::value(std::string_view text) {
 JsonWriter& JsonWriter::value(double number) {
     before_value();
     if (!std::isfinite(number)) {
-        out_ << "null";  // JSON has no NaN/Inf
+        // JSON has no NaN/Inf tokens; snprintf-style "nan"/"inf" output
+        // would be invalid JSON, so non-finite values normalize to null.
+        out_ << "null";
         return *this;
     }
-    // Shortest round-trippable-enough form: %.12g drops float noise while
-    // keeping every digit a bench or scenario result meaningfully carries.
-    char buffer[40];
-    std::snprintf(buffer, sizeof buffer, "%.12g", number);
-    out_ << buffer;
+    // Shortest round-trip form, so artifacts diff cleanly and lose no
+    // precision.
+    out_ << format_double(number);
     return *this;
 }
 

@@ -16,6 +16,13 @@
 
 namespace nb {
 
+/// Shortest round-trip decimal form of a finite double (std::to_chars): the
+/// fewest digits that parse back to exactly `number`, locale-independent.
+/// The one double formatter behind JsonWriter::value(double) and every
+/// name/label that embeds a double the byte-identity contracts cover.
+/// Precondition: `number` is finite.
+std::string format_double(double number);
+
 /// Structured writer with begin/end pairs for objects and arrays. Values in
 /// an object must be preceded by key(); values in an array are appended
 /// directly. Misuse (a key at array scope, a value without a key at object
@@ -36,6 +43,9 @@ public:
 
     JsonWriter& value(std::string_view text);
     JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+    /// Shortest round-trip decimal form (std::to_chars): the fewest digits
+    /// that parse back to exactly `number`. NaN and the infinities have no
+    /// JSON representation and normalize to null.
     JsonWriter& value(double number);
     JsonWriter& value(std::uint64_t number);
     JsonWriter& value(std::int64_t number);

@@ -13,6 +13,33 @@
 
 namespace nb {
 
+namespace {
+
+/// Which pool Impl (if any) the current thread is executing a job for, and
+/// under which worker id. parallel_for consults these to run nested submits
+/// inline on the calling worker — a worker blocking on run_mutex for its own
+/// pool would deadlock (the outer job cannot finish until the worker
+/// returns), and the outer worker id must be reused so per-worker scratch
+/// stays exclusive to one thread.
+thread_local const void* current_pool_impl = nullptr;
+thread_local std::size_t current_pool_worker = 0;
+
+struct WorkerScope {
+    WorkerScope(const void* impl, std::size_t worker)
+        : previous_impl(current_pool_impl), previous_worker(current_pool_worker) {
+        current_pool_impl = impl;
+        current_pool_worker = worker;
+    }
+    ~WorkerScope() {
+        current_pool_impl = previous_impl;
+        current_pool_worker = previous_worker;
+    }
+    const void* previous_impl;
+    std::size_t previous_worker;
+};
+
+}  // namespace
+
 struct ThreadPool::Impl {
     explicit Impl(std::size_t helper_count) {
         helpers.reserve(helper_count);
@@ -60,6 +87,7 @@ struct ThreadPool::Impl {
     }
 
     void work_chunks(std::size_t worker) {
+        const WorkerScope scope(this, worker);
         // Claim small chunks so uneven per-index costs still balance while
         // keeping atomic traffic low.
         const std::size_t total_workers = helpers.size() + 1;
@@ -150,9 +178,16 @@ void ThreadPool::parallel_for(std::size_t count,
     if (count == 0) {
         return;
     }
-    if (impl_ == nullptr || count == 1) {
+    // Nested submit from inside one of this pool's own jobs (e.g. a sweep
+    // job that itself fans out): run inline on the calling worker's id —
+    // for ANY count, including 1. Blocking on run_mutex would deadlock, and
+    // a fresh worker id 0 would let this thread race the real worker 0 on
+    // per-worker scratch.
+    const bool nested = impl_ != nullptr && current_pool_impl == impl_.get();
+    if (nested || impl_ == nullptr || count == 1) {
+        const std::size_t worker = nested ? current_pool_worker : 0;
         for (std::size_t index = 0; index < count; ++index) {
-            fn(0, index);
+            fn(worker, index);
         }
         return;
     }

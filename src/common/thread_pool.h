@@ -35,7 +35,15 @@ public:
 
     /// Run fn(worker, index) for every index in [0, count), distributed over
     /// the workers (the calling thread participates). Blocks until all
-    /// indices complete; the first exception thrown by fn is rethrown.
+    /// indices complete; the first exception thrown by fn is rethrown and
+    /// the pool stays usable afterwards. Concurrent multi-index calls from
+    /// distinct threads serialize (whole jobs queue, they never interleave);
+    /// count <= 1 calls run inline on the calling thread as worker 0 without
+    /// queueing, so they may overlap another caller's job — callers sharing
+    /// per-worker state across calls must not rely on serialization for
+    /// single-index jobs. A *nested* call from inside one of this pool's own
+    /// jobs (any count) runs inline on the calling worker's id — same
+    /// outputs, no added parallelism, no deadlock, no scratch aliasing.
     void parallel_for(std::size_t count,
                       const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -160,6 +160,14 @@ const std::vector<ScenarioSpec>& shipped_scenarios() {
     return specs;
 }
 
+SweepSpec shipped_sweep(std::vector<std::uint64_t> seeds) {
+    SweepSpec sweep;
+    sweep.name = "shipped-x-seeds";
+    sweep.bases = shipped_scenarios();
+    sweep.axes.seeds = std::move(seeds);
+    return sweep;
+}
+
 const ScenarioSpec* find_scenario(std::string_view name) {
     for (const auto& spec : shipped_scenarios()) {
         if (spec.name == name) {

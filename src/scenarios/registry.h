@@ -4,10 +4,12 @@
 // same ScenarioSpec value, so their numbers agree by construction.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "scenarios/scenario.h"
+#include "scenarios/sweep.h"
 
 namespace nb::scenarios {
 
@@ -31,5 +33,11 @@ const std::vector<ScenarioSpec>& shipped_scenarios();
 
 /// The shipped spec with this name, or nullptr.
 const ScenarioSpec* find_scenario(std::string_view name);
+
+/// The `nb_run --sweep` default: every shipped spec crossed with the given
+/// workload seeds. The acceptance suite runs this sweep at worker counts 1
+/// and 8 and pins byte-identical JSON plus strictly fewer codebook builds
+/// than jobs (the n=64 specs with equal code parameters share one build).
+SweepSpec shipped_sweep(std::vector<std::uint64_t> seeds = {1, 2, 3});
 
 }  // namespace nb::scenarios

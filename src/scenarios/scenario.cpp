@@ -237,31 +237,37 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     return result;
 }
 
+void scenario_result_json(JsonWriter& json, const ScenarioResult& r, bool include_timing) {
+    json.begin_object();
+    json.kv("name", r.name);
+    json.kv("description", r.description);
+    json.kv("topology", r.topology);
+    json.kv("channel", r.channel);
+    json.kv("transport", r.transport);
+    json.kv("n", r.node_count);
+    json.kv("delta", r.max_degree);
+    json.kv("rounds", r.rounds);
+    json.kv("perfect_rounds", r.perfect_rounds);
+    json.kv("perfect_fraction", r.perfect_fraction());
+    json.kv("beep_rounds_per_round", r.beep_rounds_per_round);
+    json.kv("total_beeps", r.total_beeps);
+    json.kv("phase1_false_negatives", r.phase1_false_negatives);
+    json.kv("phase1_false_positives", r.phase1_false_positives);
+    json.kv("phase2_errors", r.phase2_errors);
+    json.kv("delivery_mismatches", r.delivery_mismatches);
+    if (include_timing) {
+        json.kv("wall_seconds", r.wall_seconds);
+        json.kv("rounds_per_second", r.rounds_per_second);
+    }
+    json.end_object();
+}
+
 void scenario_results_json(JsonWriter& json, std::span<const ScenarioResult> results) {
     json.begin_object();
     json.kv("schema", "nb-scenarios/v1");
     json.key("results").begin_array();
     for (const auto& r : results) {
-        json.begin_object();
-        json.kv("name", r.name);
-        json.kv("description", r.description);
-        json.kv("topology", r.topology);
-        json.kv("channel", r.channel);
-        json.kv("transport", r.transport);
-        json.kv("n", r.node_count);
-        json.kv("delta", r.max_degree);
-        json.kv("rounds", r.rounds);
-        json.kv("perfect_rounds", r.perfect_rounds);
-        json.kv("perfect_fraction", r.perfect_fraction());
-        json.kv("beep_rounds_per_round", r.beep_rounds_per_round);
-        json.kv("total_beeps", r.total_beeps);
-        json.kv("phase1_false_negatives", r.phase1_false_negatives);
-        json.kv("phase1_false_positives", r.phase1_false_positives);
-        json.kv("phase2_errors", r.phase2_errors);
-        json.kv("delivery_mismatches", r.delivery_mismatches);
-        json.kv("wall_seconds", r.wall_seconds);
-        json.kv("rounds_per_second", r.rounds_per_second);
-        json.end_object();
+        scenario_result_json(json, r, /*include_timing=*/true);
     }
     json.end_array();
     json.end_object();

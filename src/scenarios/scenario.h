@@ -154,6 +154,13 @@ struct ScenarioResult {
 /// are a pure function of the spec.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
 
+/// Serialize one result as a JSON object. `include_timing` controls the
+/// wall_seconds / rounds_per_second fields — the only nondeterministic ones;
+/// the sweep schema omits them so its artifact is byte-identical for any
+/// worker count, while the scenario schema keeps them.
+void scenario_result_json(JsonWriter& json, const ScenarioResult& result,
+                          bool include_timing);
+
 /// Serialize results in the one scenario JSON schema
 /// ({"schema": "nb-scenarios/v1", "results": [...]}) — shared by `nb_run`'s
 /// BENCH_scenarios.json and any test or tool that wants the same shape.

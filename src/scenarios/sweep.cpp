@@ -1,0 +1,176 @@
+#include "scenarios/sweep.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace nb {
+
+std::size_t SweepSpec::job_count() const noexcept {
+    auto axis = [](std::size_t size) { return size == 0 ? 1 : size; };
+    return bases.size() * axis(axes.topologies.size()) * axis(axes.node_counts.size()) *
+           axis(axes.channels.size()) * axis(axes.epsilons.size()) * axis(axes.seeds.size());
+}
+
+std::vector<ScenarioSpec> SweepSpec::expand() const {
+    // Each loop runs once with "keep the base value" when its axis is empty;
+    // the index is meaningful only when the axis is non-empty.
+    auto extent = [](std::size_t size) { return size == 0 ? std::size_t{1} : size; };
+
+    std::vector<ScenarioSpec> jobs;
+    jobs.reserve(job_count());
+    for (const auto& base : bases) {
+        for (std::size_t t = 0; t < extent(axes.topologies.size()); ++t) {
+            for (std::size_t n = 0; n < extent(axes.node_counts.size()); ++n) {
+                for (std::size_t c = 0; c < extent(axes.channels.size()); ++c) {
+                    for (std::size_t e = 0; e < extent(axes.epsilons.size()); ++e) {
+                        for (std::size_t s = 0; s < extent(axes.seeds.size()); ++s) {
+                            ScenarioSpec job = base;
+                            if (!axes.topologies.empty()) {
+                                job.topology = axes.topologies[t];
+                                job.name += "/top=" + job.topology.describe();
+                            }
+                            if (!axes.node_counts.empty()) {
+                                job.topology.n = axes.node_counts[n];
+                                job.name += "/n=" + std::to_string(axes.node_counts[n]);
+                            }
+                            if (!axes.channels.empty()) {
+                                job.channel = axes.channels[c];
+                                job.name += "/ch=" + job.channel.describe();
+                            }
+                            if (!axes.epsilons.empty()) {
+                                job.channel = ChannelModel::iid(axes.epsilons[e]);
+                                job.decoder_epsilon = -1.0;  // derive from the channel
+                                // format_double: axis names share the JSON
+                                // serializer's locale-independent form.
+                                job.name += "/eps=" + format_double(axes.epsilons[e]);
+                            }
+                            if (!axes.seeds.empty()) {
+                                job.workload.seed = axes.seeds[s];
+                                job.name += "/seed=" + std::to_string(axes.seeds[s]);
+                            }
+                            jobs.push_back(std::move(job));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+namespace {
+
+/// The spec-level checks (everything except per-job validation), split out
+/// so run_sweep can validate the jobs it expands instead of expanding the
+/// whole cartesian product a second time inside SweepSpec::validate().
+void validate_spec_level(const SweepSpec& spec) {
+    require(!spec.bases.empty(), "SweepSpec: at least one base spec required");
+    std::unordered_set<std::string> names;
+    for (const auto& base : spec.bases) {
+        require(names.insert(base.name).second,
+                "SweepSpec: base names must be unique (axis suffixes cannot "
+                "disambiguate identical bases)");
+    }
+    require(spec.axes.channels.empty() || spec.axes.epsilons.empty(),
+            "SweepSpec: the channels and epsilons axes both drive the channel "
+            "model — use one or the other");
+    if (!spec.axes.node_counts.empty()) {
+        for (const auto& base : spec.bases) {
+            const TopologySpec::Family family = spec.axes.topologies.empty()
+                                                    ? base.topology.family
+                                                    : spec.axes.topologies.front().family;
+            require(family != TopologySpec::Family::grid,
+                    "SweepSpec: the n axis cannot drive grid topologies "
+                    "(grids are sized by rows x cols)");
+        }
+        for (const auto& topology : spec.axes.topologies) {
+            require(topology.family != TopologySpec::Family::grid,
+                    "SweepSpec: the n axis cannot drive grid topologies "
+                    "(grids are sized by rows x cols)");
+        }
+    }
+}
+
+}  // namespace
+
+void SweepSpec::validate() const {
+    validate_spec_level(*this);
+    for (const auto& job : expand()) {
+        job.validate();
+    }
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+    validate_spec_level(spec);
+    std::vector<ScenarioSpec> jobs = spec.expand();
+    for (const auto& job : jobs) {
+        job.validate();
+    }
+    for (auto& job : jobs) {
+        job.threads = options.threads_per_job;
+    }
+
+    SweepResult result;
+    result.name = spec.name;
+    result.jobs = jobs.size();
+
+    CodebookCache& cache = CodebookCache::instance();
+    const CodebookCache::Stats before = cache.stats();
+
+    ThreadPool pool(ThreadPool::worker_count_for(options.workers, jobs.size()));
+    result.workers = pool.worker_count();
+    result.results.resize(jobs.size());
+    const auto start = std::chrono::steady_clock::now();
+    // Per-job result slots keyed by job index: no ordering between jobs, and
+    // the merged output is independent of which worker ran what.
+    pool.parallel_for(jobs.size(), [&](std::size_t, std::size_t job) {
+        result.results[job] = run_scenario(jobs[job]);
+    });
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    const CodebookCache::Stats after = cache.stats();
+    result.cache.hits = after.hits - before.hits;
+    result.cache.builds = after.builds - before.builds;
+    result.cache.evictions = after.evictions - before.evictions;
+    result.cache.coloring_hits = after.coloring_hits - before.coloring_hits;
+    result.cache.coloring_builds = after.coloring_builds - before.coloring_builds;
+    result.cache.coloring_evictions =
+        after.coloring_evictions - before.coloring_evictions;
+    return result;
+}
+
+void sweep_results_json(JsonWriter& json, const SweepResult& result) {
+    json.begin_object();
+    json.kv("schema", "nb-sweep/v1");
+    json.kv("sweep", result.name);
+    json.kv("jobs", result.jobs);
+    // Under eviction pressure (in either cache) the hit/build values depend
+    // on job completion order, so they would break the byte-identity
+    // contract; whether pressure occurred at all is a pure function of the
+    // sweep's key set (which keys hash to which shard / how many distinct
+    // graphs), so this gate — unlike the counters it guards — is
+    // deterministic.
+    json.key("codebook_cache");
+    if (result.cache.evictions == 0 && result.cache.coloring_evictions == 0) {
+        json.begin_object();
+        json.kv("hits", result.cache.hits);
+        json.kv("builds", result.cache.builds);
+        json.kv("coloring_hits", result.cache.coloring_hits);
+        json.kv("coloring_builds", result.cache.coloring_builds);
+        json.end_object();
+    } else {
+        json.value("evicted");  // counters were order-dependent; not emitted
+    }
+    json.key("results").begin_array();
+    for (const auto& r : result.results) {
+        scenario_result_json(json, r, /*include_timing=*/false);
+    }
+    json.end_array();
+    json.end_object();
+}
+
+}  // namespace nb

@@ -1,0 +1,108 @@
+// Scenario sweeps: ScenarioSpec templates × axes, expanded to a
+// deterministic job list and executed in parallel with deterministic
+// aggregation (see DESIGN.md section 7).
+//
+// PR 3 made a single "what if" question a ScenarioSpec; the questions worth
+// asking come in families — the same experiment across seeds, channel
+// models, topologies, noise rates, and network sizes. A SweepSpec is that
+// family as data: expand() produces one ScenarioSpec per point of the
+// cartesian product (bases × each non-empty axis) in a fixed nested order,
+// run_sweep() executes the jobs on a ThreadPool whose workers claim jobs
+// from a shared atomic cursor (work stealing in the only sense that matters
+// for independent jobs: an idle worker takes the next unclaimed job, so
+// stragglers never serialize the sweep), and results land in per-job slots
+// merged in job-index order — the aggregate is a pure function of the spec,
+// byte-identical for any worker count.
+//
+// Jobs run with threads_per_job transport workers (default 1): sweep
+// parallelism comes from running jobs concurrently, not from nesting pools
+// inside pools. Concurrent jobs that agree on codebook build parameters
+// share one build through the process-wide CodebookCache; run_sweep reports
+// the cache-counter delta so benches and tests can pin "strictly fewer
+// builds than jobs".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "scenarios/scenario.h"
+#include "sim/codebook_cache.h"
+
+namespace nb {
+
+/// The sweep axes. An empty axis keeps the base spec's value; a non-empty
+/// one overrides it with each listed value in turn. Nesting order (outermost
+/// first): base, topology, n, channel, epsilon, seed.
+struct SweepAxes {
+    /// Replaces the whole TopologySpec.
+    std::vector<TopologySpec> topologies;
+
+    /// Overrides topology.n (the graph families that ignore n — grid — are
+    /// rejected by validate(): a silent no-op axis would mislabel results).
+    std::vector<std::size_t> node_counts;
+
+    /// Replaces the ChannelModel (decoder_epsilon is kept from the base).
+    std::vector<ChannelModel> channels;
+
+    /// Noise-rate axis: replaces the channel with iid(eps) and resets
+    /// decoder_epsilon to "derive from the channel" — the E11 sweep shape.
+    /// Mutually exclusive with `channels` (both drive the same field;
+    /// validate() rejects the combination rather than silently letting one
+    /// overwrite the other under the other's label).
+    std::vector<double> epsilons;
+
+    /// Overrides workload.seed (fresh per-node messages per seed).
+    std::vector<std::uint64_t> seeds;
+};
+
+struct SweepSpec {
+    std::string name;                  ///< JSON "sweep" field
+    std::vector<ScenarioSpec> bases;   ///< the spec templates (names unique)
+    SweepAxes axes;
+
+    /// bases.size() × the product of the non-empty axis lengths.
+    std::size_t job_count() const noexcept;
+
+    /// The job list: one fully-resolved ScenarioSpec per sweep point, in the
+    /// fixed nested order, each named base.name plus one "/axis=value"
+    /// suffix per non-empty axis.
+    std::vector<ScenarioSpec> expand() const;
+
+    /// Validates the spec and every expanded job; throws precondition_error.
+    void validate() const;
+};
+
+struct SweepOptions {
+    std::size_t workers = 0;          ///< sweep workers (0 = hardware concurrency)
+    std::size_t threads_per_job = 1;  ///< transport threads inside each job
+};
+
+struct SweepResult {
+    std::string name;
+    std::size_t jobs = 0;
+    std::size_t workers = 0;          ///< resolved sweep worker count
+    CodebookCache::Stats cache;       ///< cache-counter delta over this sweep
+    std::vector<ScenarioResult> results;  ///< one per job, in expand() order
+    double wall_seconds = 0.0;        ///< whole-sweep wall clock
+};
+
+/// Execute every job of the sweep. Deterministic aggregation: results are
+/// keyed by job index, so everything except wall_seconds (and the cache
+/// delta, if outside threads use the cache concurrently) is a pure function
+/// of the spec. A job that throws aborts the sweep with that exception.
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+/// Serialize in the nb-sweep/v1 schema: {"schema", "sweep", "jobs",
+/// "codebook_cache": {hits, builds, coloring_*}, "results": [...]}.
+/// Timing fields and the worker count are deliberately omitted, and the
+/// cache-counter block degrades to the string "evicted" if the sweep
+/// overflowed the cache (counter values are order-dependent under eviction
+/// pressure; whether pressure occurred is not) — so the artifact is
+/// byte-identical for any worker count, unconditionally (the determinism
+/// suite pins this; see DESIGN.md section 7).
+void sweep_results_json(JsonWriter& json, const SweepResult& result);
+
+}  // namespace nb

@@ -1,6 +1,7 @@
 #include "sim/codebook.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_set>
 
 #include "common/error.h"
@@ -184,8 +185,12 @@ std::shared_ptr<Codebook::Round> Codebook::build_round(
         std::shared_ptr<const NodeGapCache> node_gaps;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (node_gaps_ != nullptr && node_gaps_->messages == messages) {
-                node_gaps = node_gaps_;
+            for (auto it = node_gaps_.begin(); it != node_gaps_.end(); ++it) {
+                if ((*it)->messages == messages) {
+                    node_gaps_.splice(node_gaps_.begin(), node_gaps_, it);
+                    node_gaps = node_gaps_.front();
+                    break;
+                }
             }
         }
         if (node_gaps == nullptr) {
@@ -195,7 +200,22 @@ std::shared_ptr<Codebook::Round> Codebook::build_round(
                                                all_encoded.first(n + 1));
             node_gaps = fresh;
             std::lock_guard<std::mutex> lock(mutex_);
-            node_gaps_ = std::move(fresh);
+            // Re-check under the insertion lock: a concurrent same-messages
+            // miss may have raced the build; inserting a duplicate would
+            // waste a slot and compound into thrash under capacity pressure.
+            bool already_cached = false;
+            for (const auto& entry : node_gaps_) {
+                if (entry->messages == messages) {
+                    already_cached = true;
+                    break;
+                }
+            }
+            if (!already_cached) {
+                node_gaps_.push_front(std::move(fresh));
+                while (node_gaps_.size() > node_gap_capacity()) {
+                    node_gaps_.pop_back();
+                }
+            }
         }
         round->decode_gaps =
             distance.extend_decode_gaps(all_messages, all_encoded, node_gaps->gaps);
@@ -213,6 +233,49 @@ std::shared_ptr<Codebook::Round> Codebook::build_round(
 
     round->messages = messages;
     return round;
+}
+
+std::size_t Codebook::node_gap_capacity() {
+    // 2x hardware concurrency covers moderate worker oversubscription (the
+    // sweep worker count is user-set, not capped at the core count); the
+    // floor of 64 makes even heavy oversubscription cheap, since an entry
+    // is a few KB while a thrashed recompute is O(n^2) distance decodes
+    // per round.
+    const std::size_t hardware = std::thread::hardware_concurrency();
+    return std::max<std::size_t>(64, 2 * hardware);
+}
+
+std::uint64_t Codebook::fingerprint() const {
+    std::uint64_t h = 0x66696e6765727072ULL;
+    auto mix = [&h](std::uint64_t value) { h = mix64(h ^ value); };
+    mix(graph_.node_count());
+    mix(beep_length());
+    mix(beep_code().weight());
+    mix(distance_code().length());
+    mix(params_.message_bits);
+    mix(params_.decoy_count);
+    mix(params_.transport_seed);
+    mix(params_.bitslice_min_candidates);
+    mix(static_cast<std::uint64_t>(params_.dictionary));
+    for (NodeId v = 0; v < graph_.node_count(); ++v) {
+        const auto entries = candidate_entries(v);
+        mix(entries.size());
+        for (const auto e : entries) {
+            mix(e);
+        }
+    }
+    // Code content probes: codewords and encodings are pure functions of the
+    // code seeds, so a few sampled inputs pin the codes bit for bit.
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const auto [codeword, positions] = beep_code().codeword_and_positions(mix64(i));
+        mix(codeword.hash());
+        mix(positions.size());
+    }
+    Rng probe(0x70726f6265u);
+    for (int i = 0; i < 4; ++i) {
+        mix(distance_code().encode(Bitstring::random(probe, params_.payload_bits())).hash());
+    }
+    return h;
 }
 
 Codebook::Stats Codebook::stats() const {

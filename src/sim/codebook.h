@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -125,6 +126,15 @@ public:
     const SimulationParams& params() const noexcept { return params_; }
     const Graph& graph() const noexcept { return graph_; }
 
+    /// Order-sensitive structural digest of everything two transports would
+    /// share through this codebook: the code geometry, sampled codewords and
+    /// distance-code encodings (pure functions of the code seeds), every
+    /// node's candidate entry list, and the key-relevant parameters. Two
+    /// codebooks with equal fingerprints decode bit-identically; the cache
+    /// property tests compare a CodebookCache hit against a fresh private
+    /// build through this digest. Stats-neutral and thread-safe.
+    std::uint64_t fingerprint() const;
+
     /// Construction counters for the once-per-transport contract.
     struct Stats {
         std::size_t code_builds = 0;      ///< code-triple constructions (always 1)
@@ -141,11 +151,20 @@ private:
     /// The node-payload block of the phase-2 decode radii (entries 0..n:
     /// payloads + null) depends only on `messages`, not the nonce, so a
     /// fixed-messages nonce sweep reuses it and each round pays only for
-    /// the decoy rows (DistanceCode::extend_decode_gaps).
+    /// the decoy rows (DistanceCode::extend_decode_gaps). Kept as a small
+    /// MRU list rather than one slot: concurrent sweep jobs sharing this
+    /// codebook differ exactly in their messages, and a single slot would
+    /// thrash — re-running the O(n^2) gap computation every round.
     struct NodeGapCache {
         std::vector<std::optional<Bitstring>> messages;  ///< the cache key
         std::vector<std::uint32_t> gaps;
     };
+
+    /// Node-gap entries kept: sized to exceed any plausible number of
+    /// concurrent sweep jobs (each with its own messages) sharing this
+    /// codebook — if a live job's entry were evicted between its rounds,
+    /// the O(n^2) saving the cache exists for would be lost to thrash.
+    static std::size_t node_gap_capacity();
 
     const Graph& graph_;
     SimulationParams params_;
@@ -157,7 +176,7 @@ private:
 
     mutable std::mutex mutex_;
     mutable std::shared_ptr<const Round> cached_;
-    mutable std::shared_ptr<const NodeGapCache> node_gaps_;
+    mutable std::list<std::shared_ptr<const NodeGapCache>> node_gaps_;  ///< MRU first
     mutable Stats stats_;
 };
 

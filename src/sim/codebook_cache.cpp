@@ -1,0 +1,177 @@
+#include "sim/codebook_cache.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+
+namespace nb {
+
+namespace {
+
+/// Exact adjacency equality — the collision-safety check behind every
+/// digest match.
+bool graphs_equal(const Graph& a, const Graph& b) {
+    if (a.node_count() != b.node_count()) {
+        return false;
+    }
+    for (NodeId v = 0; v < a.node_count(); ++v) {
+        const auto na = a.neighbors(v);
+        const auto nb_ = b.neighbors(v);
+        if (!std::equal(na.begin(), na.end(), nb_.begin(), nb_.end())) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+std::uint64_t CodebookCache::graph_digest(const Graph& graph) {
+    std::uint64_t h = 0x67726170685f6469ULL;
+    auto mix = [&h](std::uint64_t value) { h = mix64(h ^ value); };
+    mix(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        const auto neighbors = graph.neighbors(v);
+        mix(neighbors.size());
+        for (const auto u : neighbors) {
+            mix(u);
+        }
+    }
+    return h;
+}
+
+SimulationParams CodebookCache::canonical_params(const SimulationParams& params) {
+    SimulationParams canonical = params;
+    canonical.epsilon = 0.0;  // decoder thresholds live in the transport, not the codebook
+    canonical.channel.reset();
+    canonical.threads = 1;
+    return canonical;
+}
+
+std::uint64_t CodebookCache::Key::hash() const {
+    std::uint64_t h = 0x636f6465626f6f6bULL;
+    auto mix = [&h](std::uint64_t value) { h = mix64(h ^ value); };
+    mix(graph_digest);
+    mix(node_count);
+    mix(message_bits);
+    mix(c_eps);
+    mix(code_seed);
+    mix(transport_seed);
+    mix(decoy_count);
+    mix(bitslice_min_candidates);
+    mix(static_cast<std::uint64_t>(dictionary));
+    return h;
+}
+
+CodebookCache::Key CodebookCache::make_key(const Graph& graph,
+                                           const SimulationParams& params) {
+    Key key;
+    key.graph_digest = graph_digest(graph);
+    key.node_count = graph.node_count();
+    key.message_bits = params.message_bits;
+    key.c_eps = params.c_eps;
+    key.code_seed = params.code_seed;
+    key.transport_seed = params.transport_seed;
+    key.decoy_count = params.decoy_count;
+    key.bitslice_min_candidates = params.bitslice_min_candidates;
+    key.dictionary = params.dictionary;
+    return key;
+}
+
+CodebookCache::CodebookCache(std::size_t shard_count, std::size_t shard_capacity)
+    : shard_capacity_(std::max<std::size_t>(1, shard_capacity)),
+      coloring_capacity_(std::max<std::size_t>(1, shard_count * shard_capacity)) {
+    shards_.reserve(std::max<std::size_t>(1, shard_count));
+    for (std::size_t i = 0; i < std::max<std::size_t>(1, shard_count); ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+}
+
+CodebookCache& CodebookCache::instance() {
+    static CodebookCache cache;
+    return cache;
+}
+
+std::shared_ptr<const SharedCodebook> CodebookCache::acquire(
+    const Graph& graph, const SimulationParams& params) {
+    const Key key = make_key(graph, params);
+    Shard& shard = *shards_[key.hash() % shards_.size()];
+
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+        if (it->key == key && graphs_equal(it->codebook->graph(), graph)) {
+            ++shard.hits;
+            shard.lru.splice(shard.lru.begin(), shard.lru, it);
+            return shard.lru.front().codebook;
+        }
+    }
+
+    // Miss: build while holding the shard lock, so a concurrent lookup of
+    // the same key waits here and then hits — exactly-once construction.
+    ++shard.builds;
+    auto built = std::make_shared<const SharedCodebook>(graph, canonical_params(params));
+    shard.lru.push_front(Entry{key, built});
+    while (shard.lru.size() > shard_capacity_) {
+        shard.lru.pop_back();
+        ++shard.evictions;
+    }
+    return built;
+}
+
+std::vector<std::size_t> CodebookCache::coloring(const Graph& graph) {
+    const std::uint64_t digest = graph_digest(graph);
+
+    std::lock_guard<std::mutex> lock(coloring_mutex_);
+    for (auto it = colorings_.begin(); it != colorings_.end(); ++it) {
+        if (it->digest == digest && graphs_equal(it->graph, graph)) {
+            ++coloring_hits_;
+            colorings_.splice(colorings_.begin(), colorings_, it);
+            return colorings_.front().colors;
+        }
+    }
+
+    ++coloring_builds_;
+    ColoringEntry entry;
+    entry.digest = digest;
+    entry.graph = graph;
+    entry.colors = greedy_distance2_coloring(graph);
+    colorings_.push_front(std::move(entry));
+    while (colorings_.size() > coloring_capacity_) {
+        colorings_.pop_back();
+        ++coloring_evictions_;
+    }
+    return colorings_.front().colors;
+}
+
+CodebookCache::Stats CodebookCache::stats() const {
+    Stats total;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total.hits += shard->hits;
+        total.builds += shard->builds;
+        total.evictions += shard->evictions;
+    }
+    std::lock_guard<std::mutex> lock(coloring_mutex_);
+    total.coloring_hits = coloring_hits_;
+    total.coloring_builds = coloring_builds_;
+    total.coloring_evictions = coloring_evictions_;
+    return total;
+}
+
+void CodebookCache::clear() {
+    for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->lru.clear();
+        shard->hits = 0;
+        shard->builds = 0;
+        shard->evictions = 0;
+    }
+    std::lock_guard<std::mutex> lock(coloring_mutex_);
+    colorings_.clear();
+    coloring_hits_ = 0;
+    coloring_builds_ = 0;
+    coloring_evictions_ = 0;
+}
+
+}  // namespace nb

@@ -1,0 +1,160 @@
+// Process-wide cache of Codebooks (and the TDMA baseline's G^2 colorings),
+// shared across transports (see DESIGN.md section 7).
+//
+// A Codebook is a pure function of the graph's adjacency and a handful of
+// SimulationParams fields (message_bits, c_eps, seeds, decoy_count,
+// dictionary policy, bitslice threshold). It is NOT a function of the
+// channel model, the design epsilon, or the thread count — exactly the axes
+// a scenario sweep varies most. Before this cache, every transport built its
+// own Codebook, so a 3-seed sweep of one spec paid the code-triple and
+// two-hop-dictionary construction three times; now concurrent jobs sharing
+// the build parameters get one build and N-1 hits.
+//
+// Structure: a fixed number of shards, each an LRU list of
+// (key, shared_ptr<SharedCodebook>) pairs under its own mutex. The shard
+// mutex is held *across a miss's build*: a concurrent lookup of the same key
+// waits and then hits, so every key is built exactly once per residency —
+// the contract the cache counter tests pin. (Different keys in the same
+// shard serialize their builds too; with 8 shards and builds being rare,
+// that is a non-issue, and it keeps the cache free of in-flight bookkeeping.)
+//
+// Entries own a *copy* of the graph and build the Codebook against that
+// copy, so a cached Codebook never dangles when the transport whose graph
+// triggered the build dies. Keys carry an adjacency digest; a digest match
+// is confirmed by exact adjacency comparison before it counts as a hit, so
+// hash collisions cannot alias two different graphs.
+//
+// Counters (hits/builds/evictions, plus the coloring set; misses are not
+// counted separately because every miss builds under the lock, so
+// misses == builds by construction) are
+// deterministic for a given workload as long as the working set fits the
+// capacity: lookups and exactly-once builds do not depend on thread
+// interleaving. Under eviction pressure the LRU order — and therefore which
+// keys rebuild — can depend on job completion order; the shipped sweeps stay
+// far below capacity (see DESIGN.md section 7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/codebook.h"
+#include "sim/params.h"
+
+namespace nb {
+
+/// A cache entry: the owned graph copy and the Codebook built against it.
+/// The member order is load-bearing — the Codebook references graph_.
+class SharedCodebook {
+public:
+    SharedCodebook(const Graph& graph, const SimulationParams& params)
+        : graph_(graph), codebook_(graph_, params) {}
+
+    const Codebook& codebook() const noexcept { return codebook_; }
+    const Graph& graph() const noexcept { return graph_; }
+
+private:
+    Graph graph_;
+    Codebook codebook_;
+};
+
+class CodebookCache {
+public:
+    /// `shard_capacity` codebooks per shard; least recently used beyond that
+    /// are evicted (dropped from the cache — transports holding the
+    /// shared_ptr keep their codebook alive regardless).
+    explicit CodebookCache(std::size_t shard_count = 8, std::size_t shard_capacity = 8);
+
+    CodebookCache(const CodebookCache&) = delete;
+    CodebookCache& operator=(const CodebookCache&) = delete;
+
+    /// The process-wide instance every cache-enabled transport consults.
+    static CodebookCache& instance();
+
+    /// The cached codebook for (graph, params), built on first use. The
+    /// returned entry is independent of `graph`'s lifetime.
+    std::shared_ptr<const SharedCodebook> acquire(const Graph& graph,
+                                                  const SimulationParams& params);
+
+    /// The cached greedy G^2 coloring of `graph` (the TDMA baseline's
+    /// expensive per-transport setup), as a copy the caller owns.
+    std::vector<std::size_t> coloring(const Graph& graph);
+
+    struct Stats {
+        std::uint64_t hits = 0;       ///< codebook lookups served from cache
+        std::uint64_t builds = 0;     ///< Codebook constructions (== misses:
+                                      ///< every miss builds, under the lock)
+        std::uint64_t evictions = 0;  ///< codebooks dropped by LRU pressure
+        std::uint64_t coloring_hits = 0;
+        std::uint64_t coloring_builds = 0;
+        std::uint64_t coloring_evictions = 0;
+    };
+    Stats stats() const;
+
+    /// Drop every entry and zero the counters. Tests use this to make
+    /// counter assertions independent of what ran earlier in the process.
+    void clear();
+
+    /// The params a cached build actually uses: `params` with the fields a
+    /// Codebook never reads (epsilon, channel, threads) normalized away, so
+    /// transports differing only in those share one cache key.
+    static SimulationParams canonical_params(const SimulationParams& params);
+
+    /// Order-sensitive digest of the adjacency structure (node count plus
+    /// every sorted neighbor list).
+    static std::uint64_t graph_digest(const Graph& graph);
+
+private:
+    struct Key {
+        std::uint64_t graph_digest = 0;
+        std::size_t node_count = 0;
+        std::size_t message_bits = 0;
+        std::size_t c_eps = 0;
+        std::uint64_t code_seed = 0;
+        std::uint64_t transport_seed = 0;
+        std::size_t decoy_count = 0;
+        std::size_t bitslice_min_candidates = 0;
+        DictionaryPolicy dictionary = DictionaryPolicy::two_hop;
+
+        bool operator==(const Key&) const = default;
+        std::uint64_t hash() const;
+    };
+
+    struct Entry {
+        Key key;
+        std::shared_ptr<const SharedCodebook> codebook;
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::list<Entry> lru;  ///< most recently used first
+        std::uint64_t hits = 0;
+        std::uint64_t builds = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /// A coloring entry keeps its own graph copy for exact hit confirmation.
+    struct ColoringEntry {
+        std::uint64_t digest = 0;
+        Graph graph;
+        std::vector<std::size_t> colors;
+    };
+
+    static Key make_key(const Graph& graph, const SimulationParams& params);
+
+    std::size_t shard_capacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex coloring_mutex_;
+    std::list<ColoringEntry> colorings_;  ///< most recently used first
+    std::size_t coloring_capacity_;
+    std::uint64_t coloring_hits_ = 0;
+    std::uint64_t coloring_builds_ = 0;
+    std::uint64_t coloring_evictions_ = 0;
+};
+
+}  // namespace nb

@@ -85,6 +85,15 @@ struct SimulationParams {
     /// the measured crossover on popcount-capable hardware.
     std::size_t bitslice_min_candidates = 512;
 
+    /// Consult the process-wide CodebookCache (sim/codebook_cache.h)
+    /// instead of building a private Codebook: transports agreeing on the
+    /// codebook-relevant fields (graph adjacency, message_bits, c_eps,
+    /// seeds, decoy_count, dictionary, bitslice threshold — NOT epsilon,
+    /// channel, or threads) share one build. Outputs are bit-identical
+    /// either way (golden-pinned); false restores the once-per-transport
+    /// build whose Codebook::stats() count only this transport's work.
+    bool shared_codebook = true;
+
     /// Validate ranges; throws precondition_error.
     void validate() const;
 

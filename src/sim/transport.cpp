@@ -65,7 +65,16 @@ TransportRound Transport::simulate_round(
 BeepTransport::BeepTransport(const Graph& graph, SimulationParams params)
     : graph_(graph), params_(params) {
     params_.validate();
-    codebook_ = std::make_unique<Codebook>(graph_, params_);
+    if (params_.shared_codebook) {
+        // The cached build owns its own graph copy (structurally equal to
+        // graph_, enforced by the cache key), so eviction or this
+        // transport's death never dangles anything.
+        shared_codebook_ = CodebookCache::instance().acquire(graph_, params_);
+        codebook_ = &shared_codebook_->codebook();
+    } else {
+        owned_codebook_ = std::make_unique<Codebook>(graph_, params_);
+        codebook_ = owned_codebook_.get();
+    }
     pool_ = std::make_unique<ThreadPool>(
         ThreadPool::worker_count_for(params_.threads, graph_.node_count()));
 }

@@ -31,6 +31,7 @@
 #include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "sim/codebook.h"
+#include "sim/codebook_cache.h"
 #include "sim/params.h"
 
 namespace nb {
@@ -131,8 +132,11 @@ public:
     const SimulationParams& params() const noexcept { return params_; }
     const Graph& graph() const noexcept override { return graph_; }
 
-    /// The once-per-transport code/dictionary cache (see codebook.h); its
-    /// stats() expose the construction counters tests assert on.
+    /// The code/dictionary cache this transport decodes with (see
+    /// codebook.h): the process-wide shared build when
+    /// params.shared_codebook (possibly serving other transports too, so
+    /// its stats() aggregate across them), otherwise this transport's
+    /// private build.
     const Codebook& codebook() const noexcept { return *codebook_; }
 
 private:
@@ -143,7 +147,9 @@ private:
 
     const Graph& graph_;
     SimulationParams params_;
-    std::unique_ptr<Codebook> codebook_;
+    std::shared_ptr<const SharedCodebook> shared_codebook_;  ///< cache-owned
+    std::unique_ptr<Codebook> owned_codebook_;               ///< private build
+    const Codebook* codebook_ = nullptr;  ///< whichever of the two is active
     std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -1,0 +1,161 @@
+// Property tests for the process-wide CodebookCache (sim/codebook_cache.h):
+// a cache hit must be bit-identical to a fresh private build for every
+// shipped registry spec and for thread counts 1/2/8, and the counters must
+// pin exactly-once construction across a multi-seed sweep.
+//
+// Tests clear() the cache up front so the counter assertions hold whether
+// the binary runs one test per process (ctest) or all in one (bare
+// nb_tests).
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "scenarios/registry.h"
+#include "scenarios/sweep.h"
+#include "sim/codebook_cache.h"
+#include "sim/transport.h"
+
+namespace nb {
+namespace {
+
+TEST(CodebookCacheProperty, HitIsBitIdenticalToFreshBuildForEveryShippedSpec) {
+    CodebookCache::instance().clear();
+    for (const auto& spec : scenarios::shipped_scenarios()) {
+        SCOPED_TRACE(spec.name);
+        const Graph graph = spec.topology.build();
+
+        if (spec.transport == TransportKind::tdma) {
+            // The baseline's cached artifact is the G^2 coloring.
+            const TdmaTransport cached(graph, spec.tdma_params(graph.node_count()));
+            EXPECT_EQ(cached.colors(), greedy_distance2_coloring(graph));
+            continue;
+        }
+
+        // A fresh private build (cache bypassed) is the reference.
+        SimulationParams private_params = spec.sim_params();
+        private_params.shared_codebook = false;
+        const BeepTransport reference(graph, private_params);
+        const std::uint64_t expected = reference.codebook().fingerprint();
+
+        // Cache-enabled transports at thread counts 1/2/8 must all decode
+        // through a codebook with the reference fingerprint — and through
+        // ONE shared object, since threads are not part of the cache key.
+        const Codebook* shared = nullptr;
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+            SimulationParams params = spec.sim_params();
+            params.threads = threads;
+            const BeepTransport transport(graph, params);
+            EXPECT_EQ(transport.codebook().fingerprint(), expected);
+            if (shared == nullptr) {
+                shared = &transport.codebook();
+            } else {
+                EXPECT_EQ(shared, &transport.codebook());
+            }
+        }
+    }
+}
+
+TEST(CodebookCacheProperty, ThreeSeedSweepBuildsEachCodebookExactlyOnce) {
+    CodebookCache::instance().clear();
+
+    SweepSpec sweep;
+    sweep.name = "one-spec-three-seeds";
+    sweep.bases = {*scenarios::find_scenario("e11-eps0.10-c4")};
+    sweep.axes.seeds = {1, 2, 3};
+    const SweepResult result = run_sweep(sweep);
+
+    ASSERT_EQ(result.jobs, 3u);
+    // All three jobs share one topology and one set of code parameters
+    // (only the workload seed differs), so the sweep builds the codebook
+    // exactly once and the other two jobs hit.
+    EXPECT_EQ(result.cache.builds, 1u);
+    EXPECT_EQ(result.cache.hits, 2u);
+}
+
+TEST(CodebookCacheProperty, DistinctParametersGetDistinctCodebooks) {
+    CodebookCache::instance().clear();
+    const Graph graph = scenarios::find_scenario("e11-eps0.10-c4")->topology.build();
+
+    SimulationParams a;
+    a.message_bits = 6;
+    a.c_eps = 4;
+    SimulationParams b = a;
+    b.c_eps = 6;  // different code geometry -> different key
+    SimulationParams c = a;
+    c.epsilon = 0.3;  // NOT part of the key -> shares with a
+
+    const BeepTransport ta(graph, a);
+    const BeepTransport tb(graph, b);
+    const BeepTransport tc(graph, c);
+    EXPECT_NE(&ta.codebook(), &tb.codebook());
+    EXPECT_NE(ta.codebook().fingerprint(), tb.codebook().fingerprint());
+    EXPECT_EQ(&ta.codebook(), &tc.codebook());
+
+    const auto stats = CodebookCache::instance().stats();
+    EXPECT_EQ(stats.builds, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(CodebookCacheProperty, EqualStructureDifferentGraphObjectsShareOneBuild) {
+    CodebookCache::instance().clear();
+    const TopologySpec topology = scenarios::find_scenario("ge-burst")->topology;
+    const Graph g1 = topology.build();
+    const Graph g2 = topology.build();  // distinct object, equal adjacency
+
+    SimulationParams params;
+    params.message_bits = 6;
+    params.c_eps = 4;
+    const BeepTransport t1(g1, params);
+    const BeepTransport t2(g2, params);
+    EXPECT_EQ(&t1.codebook(), &t2.codebook());
+    EXPECT_EQ(CodebookCache::instance().stats().builds, 1u);
+
+    // The cached codebook owns its own graph copy: it must reference
+    // neither caller's graph.
+    EXPECT_NE(&t1.codebook().graph(), &g1);
+    EXPECT_NE(&t1.codebook().graph(), &g2);
+}
+
+TEST(CodebookCacheProperty, ClearResetsCountersAndDropsEntries) {
+    CodebookCache& cache = CodebookCache::instance();
+    cache.clear();
+    const Graph graph = scenarios::find_scenario("ge-burst")->topology.build();
+    SimulationParams params;
+    params.message_bits = 6;
+    const BeepTransport transport(graph, params);
+    EXPECT_EQ(cache.stats().builds, 1u);
+
+    cache.clear();
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.builds, 0u);
+    EXPECT_EQ(stats.hits, 0u);
+
+    // The evicted-but-held codebook stays alive through the transport's
+    // shared_ptr; a new transport rebuilds rather than hitting.
+    const BeepTransport rebuilt(graph, params);
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_NE(&rebuilt.codebook(), &transport.codebook());
+    EXPECT_EQ(rebuilt.codebook().fingerprint(), transport.codebook().fingerprint());
+}
+
+TEST(CodebookCacheProperty, ColoringCacheServesTdmaTransports) {
+    CodebookCache::instance().clear();
+    const Graph graph = scenarios::find_scenario("e5-delta8-tdma")->topology.build();
+    TdmaParams params;
+    params.message_bits = 8;
+
+    const TdmaTransport first(graph, params);
+    const TdmaTransport second(graph, params);
+    EXPECT_EQ(first.colors(), second.colors());
+
+    TdmaParams private_params = params;
+    private_params.shared_coloring = false;
+    const TdmaTransport reference(graph, private_params);
+    EXPECT_EQ(first.colors(), reference.colors());
+
+    const auto stats = CodebookCache::instance().stats();
+    EXPECT_EQ(stats.coloring_builds, 1u);
+    EXPECT_EQ(stats.coloring_hits, 1u);
+}
+
+}  // namespace
+}  // namespace nb

@@ -1,0 +1,85 @@
+// JsonWriter double formatting: non-finite values must normalize to null
+// (JSON has no NaN/Inf tokens — "nan" in an artifact is invalid JSON), and
+// finite values must serialize in shortest round-trip form: the fewest
+// digits that strtod back to exactly the same double.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace nb {
+namespace {
+
+std::string formatted(double value) {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.value(value);
+    return out.str();
+}
+
+TEST(JsonDoubles, NonFiniteValuesNormalizeToNull) {
+    EXPECT_EQ(formatted(std::numeric_limits<double>::quiet_NaN()), "null");
+    EXPECT_EQ(formatted(std::numeric_limits<double>::signaling_NaN()), "null");
+    EXPECT_EQ(formatted(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(formatted(-std::numeric_limits<double>::infinity()), "null");
+
+    // Inside containers too, where a bare "nan" would also break the
+    // surrounding structure for strict parsers.
+    std::ostringstream out;
+    JsonWriter json(out, /*indent=*/0);
+    json.begin_object();
+    json.kv("bad", std::numeric_limits<double>::quiet_NaN());
+    json.kv("good", 0.5);
+    json.end_object();
+    EXPECT_EQ(out.str(), "{\"bad\": null,\"good\": 0.5}");
+}
+
+TEST(JsonDoubles, RepresentativeValuesUseShortestForm) {
+    // Decimal fractions print as typed, not as 17-digit binary expansions.
+    EXPECT_EQ(formatted(0.1), "0.1");
+    EXPECT_EQ(formatted(0.05), "0.05");
+    EXPECT_EQ(formatted(0.95), "0.95");
+    EXPECT_EQ(formatted(-2.5), "-2.5");
+
+    // Integral doubles drop the fraction entirely (still a JSON number).
+    EXPECT_EQ(formatted(0.0), "0");
+    EXPECT_EQ(formatted(1.0), "1");
+    EXPECT_EQ(formatted(1000000.0), "1e+06");
+
+    // Values that need all their digits keep them.
+    EXPECT_EQ(formatted(1.0 / 3.0), "0.3333333333333333");
+    EXPECT_EQ(formatted(2.0 / 3.0), "0.6666666666666666");
+
+    // Extreme magnitudes stay valid JSON numbers (no overflow to inf text).
+    EXPECT_EQ(formatted(1e300), "1e+300");
+    EXPECT_EQ(formatted(5e-324), "5e-324");  // smallest denormal
+}
+
+TEST(JsonDoubles, EveryFormattedValueRoundTripsExactly) {
+    const double values[] = {0.1,
+                             0.05,
+                             1.0 / 3.0,
+                             2.0 / 3.0,
+                             3.141592653589793,
+                             1e300,
+                             5e-324,
+                             -1.2345678901234567e-89,
+                             123456789.123456789,
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::min(),
+                             0.49999999999999994};
+    for (const double value : values) {
+        const std::string text = formatted(value);
+        char* end = nullptr;
+        const double parsed = std::strtod(text.c_str(), &end);
+        EXPECT_EQ(*end, '\0') << text;
+        EXPECT_EQ(parsed, value) << text;  // bit-exact round trip
+    }
+}
+
+}  // namespace
+}  // namespace nb

@@ -12,6 +12,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "graph/generators.h"
+#include "sim/codebook_cache.h"
 #include "sim/params.h"
 #include "sim/transport.h"
 
@@ -242,8 +243,43 @@ TEST_F(TransportEquivalence, ThreadCountDoesNotChangeOutputs) {
     }
 }
 
+TEST_F(TransportEquivalence, SharedCodebookCacheMatchesGoldenFingerprints) {
+    // With the process-wide CodebookCache enabled (the default), every seed
+    // fingerprint is unchanged, and two transports agreeing on the
+    // codebook-relevant parameters decode through the same Codebook object
+    // even when they disagree on thread count.
+    CodebookCache::instance().clear();
+    const BeepTransport two_hop(graph_, noisy_params(DictionaryPolicy::two_hop, 1));
+    const BeepTransport two_hop_threaded(graph_, noisy_params(DictionaryPolicy::two_hop, 4));
+    EXPECT_EQ(&two_hop.codebook(), &two_hop_threaded.codebook());
+    EXPECT_EQ(run_fingerprint(two_hop, messages_, FaultModel{}), kGoldenTwoHopPlain);
+    EXPECT_EQ(run_fingerprint(two_hop_threaded, messages_, faults_), kGoldenTwoHopFaults);
+
+    const BeepTransport all_nodes(graph_, noisy_params(DictionaryPolicy::all_nodes));
+    EXPECT_EQ(batched_fingerprint(all_nodes, messages_, FaultModel{}), kGoldenAllNodesPlain);
+    EXPECT_EQ(batched_fingerprint(all_nodes, messages_, faults_), kGoldenAllNodesFaults);
+
+    const auto stats = CodebookCache::instance().stats();
+    EXPECT_EQ(stats.builds, 2u);  // one per dictionary policy
+    EXPECT_EQ(stats.hits, 1u);    // the threaded two_hop transport
+}
+
+TEST_F(TransportEquivalence, PrivateCodebookMatchesGoldenFingerprints) {
+    // Opting out of the shared cache must not change a single bit either:
+    // the two build modes are golden-pinned against the same seed values.
+    SimulationParams params = noisy_params(DictionaryPolicy::two_hop);
+    params.shared_codebook = false;
+    const BeepTransport transport(graph_, params);
+    EXPECT_EQ(run_fingerprint(transport, messages_, FaultModel{}), kGoldenTwoHopPlain);
+    EXPECT_EQ(run_fingerprint(transport, messages_, faults_), kGoldenTwoHopFaults);
+}
+
 TEST_F(TransportEquivalence, CodesAndCodewordsBuiltOncePerRound) {
-    const BeepTransport transport(graph_, noisy_params(DictionaryPolicy::two_hop));
+    // The once-per-transport counters need a private codebook: a shared one
+    // aggregates every transport that ever hit the same cache entry.
+    SimulationParams private_params = noisy_params(DictionaryPolicy::two_hop);
+    private_params.shared_codebook = false;
+    const BeepTransport transport(graph_, private_params);
     const std::size_t n = graph_.node_count();
     const std::size_t decoys = transport.params().decoy_count;
 
