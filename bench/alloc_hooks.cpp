@@ -1,0 +1,102 @@
+// Counting replacements for the global allocation functions (see
+// alloc_hooks.h). Every operator-new variant funnels through one of two
+// helpers so the counter can't miss a path: plain sizes go to malloc,
+// over-aligned ones (e.g. the 64-byte arenas of common/aligned.h) to
+// posix_memalign — free() releases both, so every delete variant is free().
+// Under sanitizer builds the malloc underneath is still the intercepted
+// one, so ASan's heap checking keeps working through these wrappers.
+#include "alloc_hooks.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* do_alloc(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0) {
+        size = 1;  // operator new must return a unique pointer
+    }
+    if (void* p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc{};
+}
+
+void* do_alloc_aligned(std::size_t size, std::size_t align) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0) {
+        size = 1;
+    }
+    if (align < sizeof(void*)) {
+        align = sizeof(void*);  // posix_memalign's minimum
+    }
+    void* p = nullptr;
+    if (posix_memalign(&p, align, size) != 0) {
+        throw std::bad_alloc{};
+    }
+    return p;
+}
+
+}  // namespace
+
+namespace nb::alloc_hooks {
+
+std::uint64_t count() noexcept { return g_alloc_count.load(std::memory_order_relaxed); }
+
+}  // namespace nb::alloc_hooks
+
+void* operator new(std::size_t size) { return do_alloc(size); }
+void* operator new[](std::size_t size) { return do_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+    return do_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return do_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    try {
+        return do_alloc(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    try {
+        return do_alloc(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+    try {
+        return do_alloc_aligned(size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+    try {
+        return do_alloc_aligned(size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+    std::free(p);
+}

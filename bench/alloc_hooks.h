@@ -1,0 +1,27 @@
+// Process-wide heap allocation counter for steady-state assertions.
+//
+// Linking alloc_hooks.cpp into a binary replaces the global operator new /
+// operator delete family with counting wrappers over malloc/posix_memalign.
+// count() then reports the number of allocations performed so far, so a test
+// or bench can assert that a warmed-up code path (e.g. a reused
+// TransportBatch decode) performs exactly zero of them:
+//
+//   const auto before = nb::alloc_hooks::count();
+//   transport.simulate_rounds_into(specs, batch);   // warm batch
+//   EXPECT_EQ(nb::alloc_hooks::count() - before, 0);
+//
+// Deliberately NOT part of the noisy_beeps library: replacing global
+// operator new is a whole-program decision, so only the binaries that
+// measure allocation (nb_tests, bench_e14_micro, bench_e16) compile this TU
+// in (see CMakeLists.txt).
+#pragma once
+
+#include <cstdint>
+
+namespace nb::alloc_hooks {
+
+/// Total operator-new invocations in this process so far. Thread-safe
+/// (relaxed atomic); monotone.
+std::uint64_t count() noexcept;
+
+}  // namespace nb::alloc_hooks

@@ -5,9 +5,13 @@
 // nearest-codeword decoding, and a full Algorithm 1 round.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <optional>
+#include <string>
 
 #include "beep/batch_engine.h"
+#include "common/aligned.h"
+#include "common/simd/simd.h"
 #include "codes/beep_code.h"
 #include "codes/decoders.h"
 #include "codes/distance_code.h"
@@ -165,6 +169,123 @@ void BM_TransportRoundCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_TransportRoundCacheHit)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Kernel-level microbenches, registered once per kernel the CPU supports
+// (see main below). Workload shapes mirror the n=1024 decode hot path:
+// 6336-bit beep codewords (99 words), weight 176, reject limit 53, a heard
+// transcript at ~26% density, and a 1024-entry word-major dictionary.
+
+constexpr std::size_t kBeepWords = 99;
+
+AlignedWords random_density_words(Rng& rng, std::size_t words, int and_depth) {
+    // AND of 2^and_depth random words: density 2^-and_depth.
+    AlignedWords out(words);
+    for (auto& w : out) {
+        w = rng.next_u64();
+        for (int d = 0; d < and_depth; ++d) {
+            w &= rng.next_u64();
+        }
+    }
+    return out;
+}
+
+void BM_SimdAndNotBelow(benchmark::State& state, simd::Kernel kernel) {
+    // The packed phase-1 rejection test: early-exit popcount of
+    // candidate & ~heard against the reject limit.
+    Rng rng(8);
+    const AlignedWords heard = random_density_words(rng, kBeepWords, 2);
+    const AlignedWords candidate = random_density_words(rng, kBeepWords, 5);
+    const auto& ops = simd::ops(kernel);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ops.and_not_count_below(candidate.data(), heard.data(), kBeepWords, 53));
+    }
+}
+
+void BM_SimdHammingAll(benchmark::State& state, simd::Kernel kernel) {
+    // The phase-2 dictionary scan over the word-major SoA encoding:
+    // distance of one received word-row to every dictionary entry.
+    Rng rng(9);
+    const std::size_t words = 17;                  // 1056-bit phase-2 blocks
+    const std::size_t stride = 1024;               // dictionary entries
+    const AlignedWords soa = random_density_words(rng, words * stride, 0);
+    const AlignedWords received = random_density_words(rng, words, 0);
+    std::vector<std::uint32_t> distances(stride);
+    const auto& ops = simd::ops(kernel);
+    for (auto _ : state) {
+        ops.hamming_all(received.data(), words, soa.data(), stride, distances.data());
+        benchmark::DoNotOptimize(distances.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(stride));  // candidates/s
+}
+
+void BM_SimdBitslicePass(benchmark::State& state, simd::Kernel kernel) {
+    // The transposed phase-1 pass: every 1-row of the transcript feeds the
+    // vertical carry-save counters of 64 candidates per lane word.
+    Rng rng(10);
+    const std::size_t rows = 6336;
+    const std::size_t lanes = 24;                  // 1056 candidates padded
+    const std::size_t plane_count = 7;
+    const AlignedWords matrix = random_density_words(rng, rows * lanes, 5);
+    const AlignedWords transcript = random_density_words(rng, kBeepWords, 2);
+    const AlignedWords bias = random_density_words(rng, plane_count * lanes, 1);
+    AlignedWords low(4 * lanes, 0);
+    AlignedWords planes(plane_count * lanes);
+    AlignedWords accept(lanes);
+    const auto& ops = simd::ops(kernel);
+    for (auto _ : state) {
+        // Per-call setup as on the real path: planes re-biased, accept cleared.
+        std::memcpy(planes.data(), bias.data(), planes.size() * sizeof(std::uint64_t));
+        std::memset(accept.data(), 0, accept.size() * sizeof(std::uint64_t));
+        ops.bitslice_pass(transcript.data(), kBeepWords, matrix.data(), lanes, low.data(),
+                          planes.data(), plane_count, accept.data());
+        benchmark::DoNotOptimize(accept.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(lanes * 64));  // candidates/s
+}
+
+void BM_SimdGatherBits(benchmark::State& state, simd::Kernel kernel) {
+    // The phase-2 subsequence gather: the heard transcript's bits at a
+    // codeword's ~176 1-positions, packed (PEXT walk on the AVX tables).
+    Rng rng(11);
+    const AlignedWords heard = random_density_words(rng, kBeepWords, 2);
+    const AlignedWords mask = random_density_words(rng, kBeepWords, 5);
+    AlignedWords out(kBeepWords);
+    const auto& ops = simd::ops(kernel);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ops.gather_bits(heard.data(), mask.data(), kBeepWords, out.data()));
+    }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // The kernel microbenches register one instance per kernel this CPU can
+    // run, named like BM_SimdHammingAll/avx512, so one invocation reports
+    // the dispatch alternatives side by side.
+    for (const auto kernel :
+         {simd::Kernel::scalar, simd::Kernel::avx2, simd::Kernel::avx512}) {
+        if (!simd::kernel_supported(kernel)) {
+            continue;
+        }
+        const std::string suffix = std::string("/") + simd::kernel_name(kernel);
+        benchmark::RegisterBenchmark(("BM_SimdAndNotBelow" + suffix).c_str(),
+                                     BM_SimdAndNotBelow, kernel);
+        benchmark::RegisterBenchmark(("BM_SimdHammingAll" + suffix).c_str(),
+                                     BM_SimdHammingAll, kernel);
+        benchmark::RegisterBenchmark(("BM_SimdBitslicePass" + suffix).c_str(),
+                                     BM_SimdBitslicePass, kernel);
+        benchmark::RegisterBenchmark(("BM_SimdGatherBits" + suffix).c_str(),
+                                     BM_SimdGatherBits, kernel);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

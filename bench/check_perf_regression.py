@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh BENCH_transport.json against the checked-in
+baseline and fail on a batched-throughput regression.
+
+CI runners and developer machines differ wildly in raw speed, so absolute
+rounds/s are never compared. Instead both runs are normalized by their own
+scalar n=256 batched throughput (the least SIMD- and memory-sensitive
+configuration), and the regression threshold applies to the normalized
+values. That catches the regressions this gate exists for — a slowdown
+specific to the batched path, to large n, or to one kernel table — while
+staying stable across machine generations. A perfectly uniform slowdown of
+every configuration is invisible to this check by construction; that is the
+price of a machine-portable gate (the absolute numbers are still archived
+as artifacts for human eyes).
+
+Configurations present in only one of the two files (e.g. no AVX-512 on the
+runner) are skipped with a note. Steady-state allocation counts are an exact
+gate: the zero-copy contract does not degrade gracefully.
+
+Usage: check_perf_regression.py CURRENT BASELINE [--threshold 0.30]
+Exit status 0 = pass, 1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    results = {}
+    for row in doc.get("results", []):
+        key = (row["n"], row["kernel"])
+        results[key] = row
+    if not results:
+        raise ValueError(f"{path}: no results")
+    return results
+
+
+def reference_rate(results, path):
+    # The normalization anchor. Every run includes the scalar table, and
+    # n=256 fits comfortably in cache everywhere.
+    row = results.get((256, "scalar"))
+    if row is None:
+        raise ValueError(f"{path}: missing the scalar n=256 anchor row")
+    rate = float(row["batched_rounds_per_s"])
+    if rate <= 0:
+        raise ValueError(f"{path}: non-positive anchor throughput {rate}")
+    return rate
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH_transport.json from this build")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional drop in normalized batched "
+                             "rounds/s (default 0.30)")
+    args = parser.parse_args()
+
+    try:
+        current = load_results(args.current)
+        baseline = load_results(args.baseline)
+        cur_ref = reference_rate(current, args.current)
+        base_ref = reference_rate(baseline, args.baseline)
+    except (OSError, KeyError, ValueError) as err:
+        print(f"check_perf_regression: {err}", file=sys.stderr)
+        return 1
+
+    failures = []
+    compared = 0
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"  skip n={key[0]} kernel={key[1]}: not measured on this machine")
+            continue
+        n, kernel = key
+        base_row, cur_row = baseline[key], current[key]
+
+        cur_allocs = cur_row.get("steady_state_allocs")
+        if cur_allocs != base_row.get("steady_state_allocs", 0):
+            failures.append(f"n={n} kernel={kernel}: steady_state_allocs="
+                            f"{cur_allocs} (baseline "
+                            f"{base_row.get('steady_state_allocs', 0)})")
+
+        base_norm = float(base_row["batched_rounds_per_s"]) / base_ref
+        cur_norm = float(cur_row["batched_rounds_per_s"]) / cur_ref
+        compared += 1
+        ratio = cur_norm / base_norm
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(f"n={n} kernel={kernel}: normalized batched "
+                            f"throughput {cur_norm:.3f} vs baseline "
+                            f"{base_norm:.3f} ({ratio:.2f}x)")
+        print(f"  n={n:5d} kernel={kernel:7s} normalized {cur_norm:6.3f} "
+              f"(baseline {base_norm:6.3f}, {ratio:5.2f}x) {status}")
+
+    if compared == 0:
+        print("check_perf_regression: no overlapping configurations",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\ncheck_perf_regression: {len(failures)} failure(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_perf_regression: {compared} configurations within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

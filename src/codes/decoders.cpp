@@ -27,12 +27,21 @@ bool Phase1Decoder::accepts_codeword(const Bitstring& heard, const Bitstring& co
     return codeword.and_not_count_below(heard, reject_limit_);
 }
 
+bool Phase1Decoder::accepts_codeword(const Bitstring& heard, const Bitstring& codeword,
+                                     simd::Kernel kernel) const {
+    require(codeword.size() == code_->length(), "Phase1Decoder: wrong codeword length");
+    require(heard.size() == codeword.size(), "Phase1Decoder: wrong transcript length");
+    return simd::ops(kernel).and_not_count_below(codeword.words().data(),
+                                                 heard.words().data(),
+                                                 codeword.words().size(), reject_limit_);
+}
+
 void Phase1Decoder::accept_all(const Bitstring& heard, const BitsliceMatrix& candidates,
-                               BitsliceScratch& scratch,
-                               std::vector<std::uint64_t>& accept) const {
+                               BitsliceScratch& scratch, std::vector<std::uint64_t>& accept,
+                               simd::Kernel kernel) const {
     require(candidates.empty() || candidates.rows() == code_->length(),
             "Phase1Decoder::accept_all: wrong codeword length");
-    candidates.and_not_below(heard, reject_limit_, scratch, accept);
+    candidates.and_not_below(heard, reject_limit_, scratch, accept, kernel);
 }
 
 std::vector<std::uint64_t> Phase1Decoder::decode(

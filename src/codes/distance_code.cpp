@@ -163,6 +163,46 @@ std::uint32_t DistanceCode::nearest_entry(const Bitstring& received,
     return best_entry;
 }
 
+std::uint32_t DistanceCode::nearest_entry_soa(const Bitstring& received,
+                                              std::span<const Bitstring> messages,
+                                              const WordSoa& encoded,
+                                              std::span<const std::uint32_t> entries,
+                                              std::uint32_t hint_entry,
+                                              std::span<const std::uint32_t> gaps,
+                                              std::vector<std::uint32_t>& distances,
+                                              simd::Kernel kernel) const {
+    require(received.size() == length_,
+            "DistanceCode::nearest_entry_soa: received has the wrong length");
+    require(!entries.empty(), "DistanceCode::nearest_entry_soa: empty dictionary");
+    const std::uint64_t* received_words = received.words().data();
+    if (!gaps.empty()) {
+        const std::size_t hint_distance = encoded.column_distance(received_words, hint_entry);
+        if (2 * hint_distance < gaps[hint_entry]) {
+            return hint_entry;
+        }
+    }
+    // All candidate distances in one vectorized sweep, then the exact
+    // nearest_entry() fold over the entry order (padding columns are never
+    // indexed by an entry, so their garbage-free zero-word distances are
+    // computed and ignored).
+    distances.resize(encoded.stride());
+    simd::ops(kernel).hamming_all(received_words, encoded.words(), encoded.data(),
+                                  encoded.stride(), distances.data());
+    std::uint32_t best_entry = entries.front();
+    std::uint32_t best_distance = distances[best_entry];
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        const std::uint32_t entry = entries[i];
+        const std::uint32_t distance = distances[entry];
+        if (distance < best_distance ||
+            (distance == best_distance &&
+             message_less(messages[entry], messages[best_entry]))) {
+            best_entry = entry;
+            best_distance = distance;
+        }
+    }
+    return best_entry;
+}
+
 DistanceCode::Decoded DistanceCode::decode_exhaustive(const Bitstring& received) const {
     require(message_bits_ <= 24,
             "DistanceCode::decode_exhaustive: message space too large (max 24 bits)");

@@ -1,0 +1,57 @@
+// 64-byte-aligned word storage for the SIMD kernel layer.
+//
+// The hot data the vector kernels stream over — the bitsliced candidate
+// matrix, the word-major encoded dictionary, the vertical-counter planes —
+// lives in cache-line-aligned buffers whose row strides are padded to whole
+// vector registers, so every lane load is a plain aligned (or at worst
+// contiguous unaligned) load and never a gather.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace nb {
+
+/// Minimal C++17-style allocator returning 64-byte-aligned blocks.
+template <typename T>
+struct AlignedAllocator {
+    using value_type = T;
+    static constexpr std::size_t alignment = 64;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT
+
+    T* allocate(std::size_t count) {
+        const std::size_t bytes = count * sizeof(T);
+        // operator new with align_val_t so the optional allocation-counting
+        // hook (bench/alloc_hooks.cpp) sees these like any other allocation.
+        return static_cast<T*>(::operator new(bytes, std::align_val_t{alignment}));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t{alignment});
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAllocator<U>&) const noexcept {
+        return true;
+    }
+};
+
+/// The kernel-facing word buffer: 64-byte-aligned uint64 storage.
+using AlignedWords = std::vector<std::uint64_t, AlignedAllocator<std::uint64_t>>;
+
+/// Words per 64-byte cache line / AVX-512 register.
+inline constexpr std::size_t words_per_line = 8;
+
+/// `words` rounded up to a whole cache line — the row stride the SIMD
+/// kernels run over (padding words are kept zero by their owners, which
+/// makes processing the padded tail both harmless and branch-free).
+constexpr std::size_t padded_words(std::size_t words) noexcept {
+    return (words + words_per_line - 1) / words_per_line * words_per_line;
+}
+
+}  // namespace nb

@@ -26,7 +26,7 @@ BitsliceMatrix::BitsliceMatrix(std::span<const Bitstring> columns,
     }
     epoch_ = next_matrix_epoch();
     rows_ = columns.empty() ? extra_columns.front().size() : columns.front().size();
-    lane_words_ = (columns_ + bits_per_word - 1) / bits_per_word;
+    lane_words_ = padded_words((columns_ + bits_per_word - 1) / bits_per_word);
     rows_data_.assign(rows_ * lane_words_, 0);
     weights_.reserve(columns_);
 
@@ -88,7 +88,8 @@ void BitsliceMatrix::prepare_scratch(std::size_t limit, BitsliceScratch& scratch
 
 void BitsliceMatrix::and_not_below(const Bitstring& other, std::size_t limit,
                                    BitsliceScratch& scratch,
-                                   std::vector<std::uint64_t>& accept) const {
+                                   std::vector<std::uint64_t>& accept,
+                                   simd::Kernel kernel) const {
     accept.assign(lane_words_, 0);
     if (columns_ == 0) {
         return;  // nothing to test (and no row length to match)
@@ -102,93 +103,20 @@ void BitsliceMatrix::and_not_below(const Bitstring& other, std::size_t limit,
         accept[w] = scratch.always_[w];
     }
     scratch.planes_ = scratch.bias_;
-    scratch.low_.assign(3 * lane_words_, 0);
+    scratch.low_.assign(4 * lane_words_, 0);  // 3 chunk planes + carry buffer
 
     // Count intersections with `other`'s 1-rows in the vertical counters.
-    // The hot loop accumulates rows into 3-bit chunk counters (`low`) with a
-    // branchless carry-save ripple — pure bitwise ops over contiguous lanes,
-    // which the compiler vectorizes — and every 7 rows the chunk value is
-    // added into the bias-initialized high planes, whose carry out of the
-    // top plane accumulates into the acceptance mask (see file comment).
-    // Chunks of 7 keep the 3-bit counters overflow-free by construction.
-    const std::size_t plane_count = scratch.plane_count_;
-    const std::size_t lanes = lane_words_;
-    std::uint64_t* planes = scratch.planes_.data();
-    std::uint64_t* low0 = scratch.low_.data();
-    std::uint64_t* low1 = low0 + lanes;
-    std::uint64_t* low2 = low1 + lanes;
-    std::uint64_t* out = accept.data();
-    const std::uint64_t* rows = rows_data_.data();
-
-    const auto flush_chunk = [&] {
-        for (std::size_t w = 0; w < lanes; ++w) {
-            const std::uint64_t c0 = low0[w];
-            const std::uint64_t c1 = low1[w];
-            const std::uint64_t c2 = low2[w];
-            low0[w] = 0;
-            low1[w] = 0;
-            low2[w] = 0;
-            std::uint64_t* plane = planes + w;
-            // Half-add c0, then full-add c1 and c2 at their planes, then
-            // propagate the carry; a carry surviving the top plane means the
-            // counter passed its acceptance threshold. With fewer planes
-            // than chunk bits (thresholds < 8), the unrepresentable chunk
-            // bits imply the threshold was passed and carry out directly.
-            std::uint64_t carry = *plane & c0;
-            *plane ^= c0;
-            if (plane_count == 1) {
-                out[w] |= carry | c1 | c2;
-                continue;
-            }
-            plane += lanes;
-            std::uint64_t p = *plane;
-            *plane = p ^ c1 ^ carry;
-            carry = (p & (c1 | carry)) | (c1 & carry);
-            if (plane_count == 2) {
-                out[w] |= carry | c2;
-                continue;
-            }
-            plane += lanes;
-            p = *plane;
-            *plane = p ^ c2 ^ carry;
-            carry = (p & (c2 | carry)) | (c2 & carry);
-            for (std::size_t k = 3; k < plane_count; ++k) {
-                plane += lanes;
-                p = *plane;
-                *plane = p ^ carry;
-                carry &= p;
-            }
-            out[w] |= carry;
-        }
-    };
-
-    std::size_t chunk_rows = 0;
+    // The hot pass (see simd.h / kernels_inl.h) accumulates rows into 3-bit
+    // chunk counters with a branchless carry-save ripple — pure bitwise ops
+    // over contiguous lanes — and every 7 rows the chunk value is added into
+    // the bias-initialized high planes, whose carry out of the top plane
+    // accumulates into the acceptance mask (see file comment). Chunks of 7
+    // keep the 3-bit counters overflow-free by construction.
     const std::vector<std::uint64_t>& transcript = other.words();
-    for (std::size_t tw = 0; tw < transcript.size(); ++tw) {
-        std::uint64_t bits = transcript[tw];
-        while (bits != 0) {
-            const std::size_t p =
-                tw * bits_per_word + static_cast<std::size_t>(std::countr_zero(bits));
-            bits &= bits - 1;
-            const std::uint64_t* row = rows + p * lanes;
-            for (std::size_t w = 0; w < lanes; ++w) {
-                const std::uint64_t r = row[w];
-                const std::uint64_t a = low0[w];
-                const std::uint64_t carry1 = a & r;
-                low0[w] = a ^ r;
-                const std::uint64_t b = low1[w];
-                low1[w] = b ^ carry1;
-                low2[w] ^= b & carry1;
-            }
-            if (++chunk_rows == 7) {
-                flush_chunk();
-                chunk_rows = 0;
-            }
-        }
-    }
-    if (chunk_rows != 0) {
-        flush_chunk();
-    }
+    simd::ops(kernel).bitslice_pass(transcript.data(), transcript.size(),
+                                    rows_data_.data(), lane_words_,
+                                    scratch.low_.data(), scratch.planes_.data(),
+                                    scratch.plane_count_, accept.data());
 }
 
 }  // namespace nb

@@ -29,7 +29,9 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/bitstring.h"
+#include "common/simd/simd.h"
 
 namespace nb {
 
@@ -46,10 +48,10 @@ public:
 private:
     friend class BitsliceMatrix;
 
-    std::vector<std::uint64_t> bias_;     ///< plane-major counter init values
-    std::vector<std::uint64_t> planes_;   ///< working counters, plane-major
-    std::vector<std::uint64_t> low_;      ///< 3-bit per-chunk counters (3 planes)
-    std::vector<std::uint64_t> always_;   ///< columns accepted at any count
+    AlignedWords bias_;     ///< plane-major counter init values
+    AlignedWords planes_;   ///< working counters, plane-major
+    AlignedWords low_;      ///< 3-bit chunk counters + carry buffer (4 planes)
+    AlignedWords always_;   ///< columns accepted at any count
     std::uint64_t bias_epoch_ = 0;        ///< matrix epoch the bias was built for
     std::size_t bias_limit_ = 0;
     std::size_t plane_count_ = 0;
@@ -68,6 +70,10 @@ public:
 
     std::size_t rows() const noexcept { return rows_; }          ///< transcript length b
     std::size_t columns() const noexcept { return columns_; }    ///< candidate count
+
+    /// Lane words per row, padded to a whole cache line (multiple of 8) so
+    /// the SIMD kernels process full vectors with no tail branch; padding
+    /// lanes hold zero columns and never set accept bits.
     std::size_t lane_words() const noexcept { return lane_words_; }
     bool empty() const noexcept { return columns_ == 0; }
 
@@ -85,9 +91,12 @@ public:
     /// i.e. iff column_c.and_not_count_below(other, limit) — the bitsliced
     /// counterpart of the scalar kernel, bit-identical by construction.
     /// `accept` is resized to lane_words(); padding bits beyond columns()
-    /// are zero. Precondition: other.size() == rows().
+    /// are zero. Precondition: other.size() == rows(). The hot pass runs on
+    /// the dispatch table for `kernel` (see common/simd/simd.h); every
+    /// kernel produces the identical mask.
     void and_not_below(const Bitstring& other, std::size_t limit, BitsliceScratch& scratch,
-                       std::vector<std::uint64_t>& accept) const;
+                       std::vector<std::uint64_t>& accept,
+                       simd::Kernel kernel = simd::Kernel::auto_best) const;
 
 private:
     void prepare_scratch(std::size_t limit, BitsliceScratch& scratch) const;
@@ -100,7 +109,7 @@ private:
     /// epoch instead of the matrix address keeps a scratch from false-
     /// hitting when a destroyed matrix's storage is reused for a new one.
     std::uint64_t epoch_ = 0;
-    std::vector<std::uint64_t> rows_data_;   ///< rows * lane_words, row-major
+    AlignedWords rows_data_;                 ///< rows * lane_words, row-major
     std::vector<std::uint32_t> weights_;     ///< per-column 1-counts
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/simd/simd.h"
 
 namespace nb {
 
@@ -35,6 +36,17 @@ Bitstring Bitstring::random(Rng& rng, std::size_t size) {
     Bitstring result(size);
     for (auto& word : result.words_) {
         word = rng.next_u64();
+    }
+    result.clear_padding();
+    return result;
+}
+
+Bitstring Bitstring::from_words(std::span<const std::uint64_t> words, std::size_t bits) {
+    Bitstring result(bits);
+    require(words.size() >= result.words_.size(),
+            "Bitstring::from_words: not enough source words");
+    for (std::size_t w = 0; w < result.words_.size(); ++w) {
+        result.words_[w] = words[w];
     }
     result.clear_padding();
     return result;
@@ -88,32 +100,18 @@ std::size_t Bitstring::intersect_count(const Bitstring& other) const {
 
 std::size_t Bitstring::and_not_count(const Bitstring& other) const {
     check_same_size(other, "and_not_count");
-    std::size_t total = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-        total += static_cast<std::size_t>(std::popcount(words_[w] & ~other.words_[w]));
-    }
-    return total;
+    return simd::ops().and_not_count(words_.data(), other.words_.data(), words_.size());
 }
 
 bool Bitstring::and_not_count_below(const Bitstring& other, std::size_t limit) const {
     check_same_size(other, "and_not_count_below");
-    std::size_t total = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-        total += static_cast<std::size_t>(std::popcount(words_[w] & ~other.words_[w]));
-        if (total >= limit) {
-            return false;
-        }
-    }
-    return total < limit;
+    return simd::ops().and_not_count_below(words_.data(), other.words_.data(),
+                                           words_.size(), limit);
 }
 
 std::size_t Bitstring::hamming_distance(const Bitstring& other) const {
     check_same_size(other, "hamming_distance");
-    std::size_t total = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-        total += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
-    }
-    return total;
+    return simd::ops().hamming(words_.data(), other.words_.data(), words_.size());
 }
 
 Bitstring& Bitstring::operator|=(const Bitstring& other) {
@@ -240,6 +238,17 @@ void Bitstring::gather_into(std::span<const std::size_t> positions, Bitstring& o
     if (positions.size() % bits_per_word != 0) {
         out.words_.back() = acc;
     }
+}
+
+void Bitstring::gather_mask_into(const Bitstring& mask, Bitstring& out,
+                                 simd::Kernel kernel) const {
+    check_same_size(mask, "gather_mask_into");
+    out.reset(mask.count());
+    if (out.size_ == 0) {
+        return;
+    }
+    simd::ops(kernel).gather_bits(words_.data(), mask.words_.data(), words_.size(),
+                                  out.words_.data());
 }
 
 Bitstring Bitstring::scatter(std::size_t size, const std::vector<std::size_t>& positions,

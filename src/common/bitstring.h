@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd/simd.h"
 
 namespace nb {
 
@@ -34,6 +35,13 @@ public:
 
     /// Uniformly random bitstring of `size` bits.
     static Bitstring random(Rng& rng, std::size_t size);
+
+    /// Bitstring of `bits` bits copied from packed word storage (the layout
+    /// words() exposes). `words` must hold ceil(bits / 64) words or more;
+    /// unused high bits of the last word are cleared. The zero-copy
+    /// transport ring stores delivered messages as raw word runs and
+    /// rebuilds Bitstrings with this on the compatibility path.
+    static Bitstring from_words(std::span<const std::uint64_t> words, std::size_t bits);
 
     /// Random bitstring of `size` bits with exactly `weight` ones
     /// (uniform over all such strings). Precondition: weight <= size.
@@ -139,6 +147,16 @@ public:
     /// transports use this with per-worker scratch strings so the phase-2
     /// hot loop performs no allocation.
     void gather_into(std::span<const std::size_t> positions, Bitstring& out) const;
+
+    /// gather_into at mask.one_positions(), without the position vector:
+    /// out[i] = this[p_i] where p_i is the i-th 1-position of `mask`
+    /// (ascending), i.e. the Notation 7 subsequence y at the 1-positions of
+    /// a codeword, taken straight off the packed codeword words. Dispatches
+    /// to the SIMD layer's word-wise PEXT walk — bit-identical to the
+    /// position-list gather on every kernel (property-tested). Precondition:
+    /// sizes match.
+    void gather_mask_into(const Bitstring& mask, Bitstring& out,
+                          simd::Kernel kernel = simd::Kernel::auto_best) const;
 
     /// Scatter `values` into a fresh string of this size at `positions`:
     /// result[positions[i]] = values[i], other bits 0. This implements the

@@ -1,0 +1,100 @@
+// AVX-512 kernel set. Compiled with -mavx512f/bw/vl/dq/vpopcntdq (see
+// CMakeLists.txt); only ever called after runtime CPU detection confirms
+// those features.
+//
+// VPOPCNTQ counts eight u64 lanes per instruction, so the popcount
+// reductions are a straight load/op/popcount/add pipeline — no LUT, no SAD
+// folding. The bitwise bitslice pass reuses the generic body, which the
+// compiler auto-vectorizes at 512-bit width in this TU
+// (-mprefer-vector-width=512).
+#include "common/simd/kernels_inl.h"
+
+#include <immintrin.h>
+
+namespace nb::simd {
+namespace {
+
+/// popcount of op(a[w], b[w]) over `words`, for op = ANDNOT or XOR.
+template <bool kAndNot>
+std::size_t reduce_popcount512(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t words) {
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+        const __m512i va = _mm512_loadu_si512(a + w);
+        const __m512i vb = _mm512_loadu_si512(b + w);
+        // _mm512_andnot_si512(x, y) = ~x & y, so pass (b, a) for a & ~b.
+        const __m512i mixed =
+            kAndNot ? _mm512_andnot_si512(vb, va) : _mm512_xor_si512(va, vb);
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(mixed));
+    }
+    std::size_t total = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+    for (; w < words; ++w) {
+        const std::uint64_t mixed = kAndNot ? (a[w] & ~b[w]) : (a[w] ^ b[w]);
+        total += static_cast<std::size_t>(std::popcount(mixed));
+    }
+    return total;
+}
+
+std::size_t avx512_and_not_count(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t words) {
+    return reduce_popcount512<true>(a, b, words);
+}
+
+std::size_t avx512_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) {
+    return reduce_popcount512<false>(a, b, words);
+}
+
+bool avx512_and_not_count_below(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words, std::size_t limit) {
+    // Same monotone block-exit contract as the generic kernel.
+    std::size_t total = 0;
+    std::size_t w = 0;
+    while (w < words) {
+        const std::size_t end = w + 16 < words ? w + 16 : words;
+        total += reduce_popcount512<true>(a + w, b + w, end - w);
+        w = end;
+        if (total >= limit) {
+            return false;
+        }
+    }
+    return total < limit;
+}
+
+void avx512_hamming_all(const std::uint64_t* received, std::size_t words,
+                        const std::uint64_t* soa, std::size_t stride,
+                        std::uint32_t* out) {
+    // Word-major SoA: eight candidates' distances accumulate per VPOPCNTQ
+    // from one aligned 64-byte load (stride % 8 == 0 keeps every row
+    // block cache-line-aligned). Candidate-blocked loop order keeps the
+    // accumulator in a register across the (short) word dimension.
+    for (std::size_t c = 0; c < stride; c += 8) {
+        __m512i acc = _mm512_setzero_si512();
+        for (std::size_t w = 0; w < words; ++w) {
+            const __m512i r = _mm512_set1_epi64(static_cast<long long>(received[w]));
+            const __m512i v = _mm512_load_si512(soa + w * stride + c);
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_xor_si512(v, r)));
+        }
+        // Eight u64 counts -> eight u32 accumulator slots. The masked
+        // truncating store (full mask) sidesteps _mm512_cvtepi64_epi32,
+        // whose GCC 12 header trips -Werror=uninitialized via
+        // _mm256_undefined_si256.
+        _mm512_mask_cvtepi64_storeu_epi32(out + c, 0xff, acc);
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+SimdOps make_avx512_ops() {
+    return SimdOps{
+        "avx512",       avx512_and_not_count, avx512_and_not_count_below,
+        avx512_hamming, avx512_hamming_all,   generic_bitslice_pass,
+        generic_gather_bits,  // -mbmi2 in this TU: compiles to the PEXT walk
+    };
+}
+
+}  // namespace detail
+}  // namespace nb::simd

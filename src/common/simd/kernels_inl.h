@@ -1,0 +1,241 @@
+// Generic (auto-vectorizable) implementations of the SimdOps kernels.
+//
+// This header is included ONCE per kernel translation unit — scalar, AVX2,
+// AVX-512 — each compiled with that ISA's flags, so the same source yields
+// a differently-vectorized body per TU. Everything here lives in an
+// anonymous namespace on purpose: each TU gets its own internal-linkage
+// copy, so the linker can never merge (and thereby mis-dispatch) bodies
+// compiled for different ISAs, which an ODR-shared inline function would
+// invite. The popcount reductions are overridden with hand-written
+// intrinsics in the AVX2/AVX-512 TUs; the pure bitwise bitslice pass
+// auto-vectorizes well everywhere and is shared as-is.
+//
+// Exactness: every kernel is an integer reduction or a bitwise pass whose
+// result is independent of association order, so all ISA variants are
+// bit-identical by construction (and property-tested against each other).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd/simd.h"
+
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
+namespace nb::simd {
+namespace {
+
+[[maybe_unused]] std::size_t generic_and_not_count(const std::uint64_t* a, const std::uint64_t* b,
+                                  std::size_t words) {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+        total += static_cast<std::size_t>(std::popcount(a[w] & ~b[w]));
+    }
+    return total;
+}
+
+[[maybe_unused]] bool generic_and_not_count_below(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t words, std::size_t limit) {
+    // Early exit per 16-word block: the running count is monotone, so the
+    // boolean is identical to the per-word-exit original while the block
+    // body stays a straight-line reduction the vectorizer can take.
+    std::size_t total = 0;
+    std::size_t w = 0;
+    while (w < words) {
+        const std::size_t end = w + 16 < words ? w + 16 : words;
+        for (; w < end; ++w) {
+            total += static_cast<std::size_t>(std::popcount(a[w] & ~b[w]));
+        }
+        if (total >= limit) {
+            return false;
+        }
+    }
+    return total < limit;
+}
+
+[[maybe_unused]] std::size_t generic_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words) {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+        total += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+    }
+    return total;
+}
+
+[[maybe_unused]] void generic_hamming_all(const std::uint64_t* received, std::size_t words,
+                         const std::uint64_t* soa, std::size_t stride,
+                         std::uint32_t* out) {
+    for (std::size_t c = 0; c < stride; ++c) {
+        out[c] = 0;
+    }
+    for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t r = received[w];
+        const std::uint64_t* __restrict row = soa + w * stride;
+        std::uint32_t* __restrict acc = out;
+        for (std::size_t c = 0; c < stride; ++c) {
+            acc[c] += static_cast<std::uint32_t>(std::popcount(row[c] ^ r));
+        }
+    }
+}
+
+/// One 7-row chunk flushed into the bias-initialized planes, written as
+/// plane-major full-array passes (each a straight vectorizable loop; the
+/// original per-lane sequential walk computes the same values in a
+/// different loop order). `carry` is caller scratch of `lanes` words.
+void generic_bitslice_flush(std::uint64_t* __restrict low0, std::uint64_t* __restrict low1,
+                            std::uint64_t* __restrict low2, std::uint64_t* __restrict carry,
+                            std::uint64_t* planes, std::size_t lanes,
+                            std::size_t plane_count, std::uint64_t* __restrict out) {
+    // Half-add the chunk's bit 0 into plane 0.
+    for (std::size_t w = 0; w < lanes; ++w) {
+        const std::uint64_t p = planes[w];
+        carry[w] = p & low0[w];
+        planes[w] = p ^ low0[w];
+    }
+    if (plane_count == 1) {
+        // Counters narrower than the chunk: any unrepresentable chunk bit
+        // means the threshold was passed and carries out directly.
+        for (std::size_t w = 0; w < lanes; ++w) {
+            out[w] |= carry[w] | low1[w] | low2[w];
+        }
+    } else {
+        std::uint64_t* plane1 = planes + lanes;
+        for (std::size_t w = 0; w < lanes; ++w) {
+            const std::uint64_t p = plane1[w];
+            const std::uint64_t c1 = low1[w];
+            const std::uint64_t cin = carry[w];
+            plane1[w] = p ^ c1 ^ cin;
+            carry[w] = (p & (c1 | cin)) | (c1 & cin);
+        }
+        if (plane_count == 2) {
+            for (std::size_t w = 0; w < lanes; ++w) {
+                out[w] |= carry[w] | low2[w];
+            }
+        } else {
+            std::uint64_t* plane2 = planes + 2 * lanes;
+            for (std::size_t w = 0; w < lanes; ++w) {
+                const std::uint64_t p = plane2[w];
+                const std::uint64_t c2 = low2[w];
+                const std::uint64_t cin = carry[w];
+                plane2[w] = p ^ c2 ^ cin;
+                carry[w] = (p & (c2 | cin)) | (c2 & cin);
+            }
+            for (std::size_t k = 3; k < plane_count; ++k) {
+                std::uint64_t* plane = planes + k * lanes;
+                for (std::size_t w = 0; w < lanes; ++w) {
+                    const std::uint64_t p = plane[w];
+                    plane[w] = p ^ carry[w];
+                    carry[w] &= p;
+                }
+            }
+            for (std::size_t w = 0; w < lanes; ++w) {
+                out[w] |= carry[w];
+            }
+        }
+    }
+    for (std::size_t w = 0; w < lanes; ++w) {
+        low0[w] = 0;
+        low1[w] = 0;
+        low2[w] = 0;
+    }
+}
+
+[[maybe_unused]] void generic_bitslice_pass(const std::uint64_t* transcript,
+                                            std::size_t transcript_words,
+                                            const std::uint64_t* rows, std::size_t lanes,
+                                            std::uint64_t* low, std::uint64_t* planes,
+                                            std::size_t plane_count, std::uint64_t* out) {
+    std::uint64_t* low0 = low;
+    std::uint64_t* low1 = low + lanes;
+    std::uint64_t* low2 = low + 2 * lanes;
+    std::uint64_t* carry = low + 3 * lanes;
+
+    std::size_t chunk_rows = 0;
+    for (std::size_t tw = 0; tw < transcript_words; ++tw) {
+        std::uint64_t bits = transcript[tw];
+        while (bits != 0) {
+            const std::size_t p =
+                tw * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::uint64_t* __restrict row = rows + p * lanes;
+            std::uint64_t* __restrict l0 = low0;
+            std::uint64_t* __restrict l1 = low1;
+            std::uint64_t* __restrict l2 = low2;
+            for (std::size_t w = 0; w < lanes; ++w) {
+                const std::uint64_t r = row[w];
+                const std::uint64_t a = l0[w];
+                const std::uint64_t carry1 = a & r;
+                l0[w] = a ^ r;
+                const std::uint64_t b = l1[w];
+                l1[w] = b ^ carry1;
+                l2[w] ^= b & carry1;
+            }
+            if (++chunk_rows == 7) {
+                generic_bitslice_flush(low0, low1, low2, carry, planes, lanes, plane_count,
+                                       out);
+                chunk_rows = 0;
+            }
+        }
+    }
+    if (chunk_rows != 0) {
+        generic_bitslice_flush(low0, low1, low2, carry, planes, lanes, plane_count, out);
+    }
+}
+
+/// Pack the bits of `src` found at the 1-positions of `mask` (ascending)
+/// into `out` — a whole-word PEXT walk over the Notation 7 subsequence
+/// gather, replacing the per-position bit loop of Bitstring::gather_into.
+/// Word w contributes PEXT(src[w], mask[w]) (extracted here bit by bit when
+/// the TU lacks BMI2 — identical result), appended through a 64-bit fill
+/// buffer, so the output equals gathering src at mask.one_positions() in
+/// order. Returns popcount(mask); out must hold ceil(that / 64) words, and
+/// every written word is fully assembled (padding bits land as zeros).
+[[maybe_unused]] std::size_t generic_gather_bits(const std::uint64_t* src,
+                                                 const std::uint64_t* mask,
+                                                 std::size_t words, std::uint64_t* out) {
+    std::uint64_t acc = 0;
+    std::size_t fill = 0;
+    std::size_t total = 0;
+    std::size_t ow = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t m = mask[w];
+        if (m == 0) {
+            continue;
+        }
+#if defined(__BMI2__)
+        const std::uint64_t ext = _pext_u64(src[w], m);
+        const std::size_t cnt = static_cast<std::size_t>(std::popcount(m));
+#else
+        const std::uint64_t s = src[w];
+        std::uint64_t ext = 0;
+        std::size_t cnt = 0;
+        while (m != 0) {
+            const int b = std::countr_zero(m);
+            m &= m - 1;
+            ext |= ((s >> b) & std::uint64_t{1}) << cnt;
+            ++cnt;
+        }
+#endif
+        acc |= ext << fill;
+        const std::size_t next = fill + cnt;
+        if (next >= 64) {
+            out[ow++] = acc;
+            // The bits of ext that did not fit (cnt + fill - 64 of them)
+            // start the next output word; when fill == 0 the word consumed
+            // ext exactly and the remainder is empty (ext >> 64 would be UB).
+            acc = fill == 0 ? 0 : ext >> (64 - fill);
+        }
+        fill = next & 63;
+        total += cnt;
+    }
+    if (fill != 0) {
+        out[ow] = acc;
+    }
+    return total;
+}
+
+}  // namespace
+}  // namespace nb::simd

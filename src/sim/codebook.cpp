@@ -179,6 +179,11 @@ std::shared_ptr<Codebook::Round> Codebook::build_round(
     if (params_.dictionary == DictionaryPolicy::all_nodes) {
         if (n + params_.decoy_count >= params_.bitslice_min_candidates) {
             round->codeword_slices = BitsliceMatrix(round->codewords, round->decoy_codewords);
+            // The phase-2 dictionary transposed word-major for the
+            // vectorized full-sweep scan, gated with the bitslice matrix:
+            // both pay off exactly when every node scans the whole entry
+            // space (DistanceCode::nearest_entry_soa).
+            round->candidate_encoded_soa.build(round->candidate_encoded);
         }
         const std::span<const Bitstring> all_messages(round->candidate_messages);
         const std::span<const Bitstring> all_encoded(round->candidate_encoded);

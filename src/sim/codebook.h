@@ -39,6 +39,7 @@
 #include "codes/combined_code.h"
 #include "common/bitslice.h"
 #include "common/bitstring.h"
+#include "common/word_soa.h"
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "sim/params.h"
@@ -88,6 +89,12 @@ public:
         /// they accelerate; two-hop dictionaries are small enough that the
         /// scalar kernels win (see DESIGN.md section 5).
         BitsliceMatrix codeword_slices;
+
+        /// candidate_encoded transposed word-major (common/word_soa.h) for
+        /// the vectorized phase-2 full-dictionary sweep
+        /// (DistanceCode::nearest_entry_soa). Built with codeword_slices —
+        /// same policy, same crossover; empty() otherwise.
+        WordSoa candidate_encoded_soa;
 
         /// Per-entry unique-decoding radii for the phase-2 radius shortcut
         /// (DistanceCode::decode_gaps). Empty under two_hop.

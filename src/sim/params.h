@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "beep/channel_model.h"
+#include "common/simd/simd.h"
 
 namespace nb {
 
@@ -84,6 +85,16 @@ struct SimulationParams {
     /// way — the threshold only selects the faster kernel; the default is
     /// the measured crossover on popcount-capable hardware.
     std::size_t bitslice_min_candidates = 512;
+
+    /// Decode kernel set for this transport's hot loops (phase-1 bitslice
+    /// pass, phase-2 Hamming scans, missing-ones counts). auto_best (the
+    /// default) resolves through the NB_SIMD_KERNEL environment variable and
+    /// then CPU detection; an explicit unavailable kernel falls back to the
+    /// best supported one (simd::resolve_kernel reports what ran). Every
+    /// kernel computes bit-identical results — this selects vector width,
+    /// never values — so the field is deliberately NOT part of the codebook
+    /// cache key or any fingerprint.
+    simd::Kernel simd_kernel = simd::Kernel::auto_best;
 
     /// Consult the process-wide CodebookCache (sim/codebook_cache.h)
     /// instead of building a private Codebook: transports agreeing on the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <future>
 
 #include "beep/batch_engine.h"
@@ -14,7 +15,7 @@ namespace {
 
 enum class NodeState : unsigned char { correct, jammer, crashed };
 
-/// Per-node diagnostic deltas, reduced into TransportRound in node order
+/// Per-node diagnostic deltas, reduced into the round stats in node order
 /// after the parallel loop so totals are independent of thread schedule.
 struct NodeDiagnostics {
     std::size_t phase1_false_negatives = 0;
@@ -23,8 +24,9 @@ struct NodeDiagnostics {
     std::size_t delivery_mismatches = 0;
 };
 
-std::vector<NodeState> build_node_states(std::size_t n, const FaultModel& faults) {
-    std::vector<NodeState> state(n, NodeState::correct);
+void build_node_states_into(std::vector<NodeState>& state, std::size_t n,
+                            const FaultModel& faults) {
+    state.assign(n, NodeState::correct);
     for (const auto v : faults.jammers) {
         require(v < n, "BeepTransport: jammer id out of range");
         state[v] = NodeState::jammer;
@@ -36,25 +38,67 @@ std::vector<NodeState> build_node_states(std::size_t n, const FaultModel& faults
         require(state[v] != NodeState::jammer, "BeepTransport: node cannot jam and crash");
         state[v] = NodeState::crashed;
     }
-    return state;
 }
 
-}  // namespace
-
 /// Reusable per-worker scratch: transcript/gather buffers, acceptance lists,
-/// bitslice counters and ground-truth pointers. Allocated once per
-/// simulate_rounds call and reused across every round of the batch, so the
-/// node loop allocates nothing once warm.
-struct BeepTransport::DecodeWorkspace {
+/// bitslice counters and ground-truth pointers. Lives in the batch scratch,
+/// so every buffer reaches steady-state size during the first round of the
+/// first batch and is never reallocated again.
+struct DecodeWorkspace {
     Bitstring heard1;
     Bitstring heard2;
     Bitstring gathered;
     std::vector<NodeId> accepted_nodes;
     std::vector<std::size_t> accepted_decoys;
     std::vector<std::uint64_t> accept_mask;
+    std::vector<std::uint32_t> distances;  ///< phase-2 SoA sweep scratch
+    std::vector<std::uint64_t> sort_tmp;   ///< record rotation buffer
     BitsliceScratch slice_scratch;
     std::vector<const Bitstring*> expected;
 };
+
+}  // namespace
+
+/// Everything decode_round_into reuses across rounds and batches. Owned by
+/// the TransportBatch (caller lifetime), created on its first use; the
+/// fault-override schedule vectors stay empty on fault-free workloads.
+struct TransportBatch::Scratch {
+    std::vector<DecodeWorkspace> workspaces;
+    std::vector<NodeState> states;
+    std::vector<NodeDiagnostics> diagnostics;
+    std::vector<Bitstring> faulty_phase1;
+    std::vector<Bitstring> faulty_phase2;
+};
+
+namespace {
+
+/// The one pointer the decode loop's closure captures: per-round constants
+/// and the batch the workers write into. Keeping the closure to a single
+/// pointer keeps the std::function conversion at the parallel_for call site
+/// inside its small-buffer storage — no per-round allocation.
+struct DecodeContext {
+    const Graph* graph = nullptr;
+    const Codebook* codebook = nullptr;
+    const Codebook::Round* round = nullptr;
+    const std::vector<std::optional<Bitstring>>* messages = nullptr;
+    const std::vector<Bitstring>* phase1_schedules = nullptr;
+    const std::vector<Bitstring>* phase2_schedules = nullptr;
+    const BatchEngine* phase1_engine = nullptr;
+    const BatchEngine* phase2_engine = nullptr;
+    const Phase1Decoder* phase1_decoder = nullptr;
+    const DistanceCode* distance_code = nullptr;
+    TransportBatch* batch = nullptr;
+    std::vector<DecodeWorkspace>* workspaces = nullptr;
+    const std::vector<NodeState>* states = nullptr;
+    std::vector<NodeDiagnostics>* diagnostics = nullptr;
+    std::size_t round_index = 0;
+    std::size_t n = 0;
+    std::size_t decoy_count = 0;
+    bool bitsliced = false;
+    simd::Kernel kernel = simd::Kernel::auto_best;
+};
+
+}  // namespace
 
 TransportRound Transport::simulate_round(
     const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce) const {
@@ -92,25 +136,43 @@ TransportRound BeepTransport::simulate_round(
 
 std::vector<TransportRound> BeepTransport::simulate_rounds(
     std::span<const RoundSpec> specs) const {
+    // The compatibility bridge: decode into a throwaway batch, then convert
+    // each round to the owning TransportRound shape. Callers that care about
+    // allocation rates use simulate_rounds_into with a reused batch.
+    TransportBatch batch;
+    simulate_rounds_into(specs, batch);
+    std::vector<TransportRound> results;
+    results.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        results.push_back(batch.to_round(i));
+    }
+    return results;
+}
+
+void BeepTransport::simulate_rounds_into(std::span<const RoundSpec> specs,
+                                         TransportBatch& batch) const {
     const std::size_t n = graph_.node_count();
     for (const auto& spec : specs) {
         require(spec.messages != nullptr, "BeepTransport::simulate_rounds: null messages");
         require(spec.messages->size() == n, "BeepTransport: one message slot per node");
+    }
+
+    if (batch.scratch_ == nullptr) {
+        batch.scratch_ = std::make_shared<TransportBatch::Scratch>();
+    }
+    batch.prepare(specs.size(), n, params_.message_bits, pool_->worker_count());
+    if (batch.scratch_->workspaces.size() < pool_->worker_count()) {
+        batch.scratch_->workspaces.resize(pool_->worker_count());
+    }
+    if (specs.empty()) {
+        return;
+    }
+    for (const auto& spec : specs) {
         if (spec.faults != nullptr) {
-            build_node_states(n, *spec.faults);  // fail fast on bad fault ids
+            // Fail fast on bad fault ids before any decoding starts.
+            build_node_states_into(batch.scratch_->states, n, *spec.faults);
         }
     }
-
-    std::vector<TransportRound> results;
-    results.reserve(specs.size());
-    if (specs.empty()) {
-        return results;
-    }
-
-    // Workspaces are per batch, not per round: the buffers inside reach
-    // their steady-state sizes during the first round and are reused by
-    // every later one.
-    std::vector<DecodeWorkspace> workspaces(pool_->worker_count());
 
     // Pipeline: while round i is decoding on the pool, a builder task
     // derives round i+1's Codebook::Round (codewords, schedules, slices,
@@ -128,47 +190,45 @@ std::vector<TransportRound> BeepTransport::simulate_rounds(
         if (pipelined && i + 1 < specs.size()) {
             next = std::async(std::launch::async, build, std::cref(specs[i + 1]));
         }
-        results.push_back(decode_round(*current, specs[i], workspaces));
+        decode_round_into(*current, specs[i], i, batch);
         if (i + 1 < specs.size()) {
             current = pipelined ? next.get() : build(specs[i + 1]);
         }
     }
-    return results;
 }
 
-TransportRound BeepTransport::decode_round(const Codebook::Round& round, const RoundSpec& spec,
-                                           std::vector<DecodeWorkspace>& workspaces) const {
+void BeepTransport::decode_round_into(const Codebook::Round& round, const RoundSpec& spec,
+                                      std::size_t round_index, TransportBatch& batch) const {
     const std::size_t n = graph_.node_count();
-    const std::vector<std::optional<Bitstring>>& messages = *spec.messages;
+    TransportBatch::Scratch& scratch = *batch.scratch_;
     static const FaultModel no_faults{};
     const FaultModel& faults = spec.faults != nullptr ? *spec.faults : no_faults;
 
-    const std::vector<NodeState> state = build_node_states(n, faults);
+    build_node_states_into(scratch.states, n, faults);
     const std::size_t b = codebook_->beep_length();
 
     // Phase schedules: the cached fault-free ones (codewords and combined
     // codewords) unless faults force per-node overrides — jammers transmit
     // all-ones, crashed nodes all-zeros, in both phases. The decoding
     // dictionary stays the cached codewords: decoders have no fault
-    // knowledge.
+    // knowledge. The override vectors are batch scratch: element-wise
+    // copy-assignment reuses each Bitstring's word storage once warm.
     const std::vector<Bitstring>* phase1_schedules = &round.codewords;
     const std::vector<Bitstring>* phase2_schedules = &round.combined_schedules;
-    std::vector<Bitstring> faulty_phase1;
-    std::vector<Bitstring> faulty_phase2;
     if (!faults.empty()) {
-        faulty_phase1 = round.codewords;
-        faulty_phase2 = round.combined_schedules;
+        scratch.faulty_phase1 = round.codewords;
+        scratch.faulty_phase2 = round.combined_schedules;
         for (NodeId v = 0; v < n; ++v) {
-            if (state[v] == NodeState::jammer) {
-                faulty_phase1[v] = ~Bitstring(b);
-                faulty_phase2[v] = ~Bitstring(b);
-            } else if (state[v] == NodeState::crashed) {
-                faulty_phase1[v] = Bitstring(b);
-                faulty_phase2[v] = Bitstring(b);
+            if (scratch.states[v] == NodeState::jammer) {
+                scratch.faulty_phase1[v] = ~Bitstring(b);
+                scratch.faulty_phase2[v] = ~Bitstring(b);
+            } else if (scratch.states[v] == NodeState::crashed) {
+                scratch.faulty_phase1[v] = Bitstring(b);
+                scratch.faulty_phase2[v] = Bitstring(b);
             }
         }
-        phase1_schedules = &faulty_phase1;
-        phase2_schedules = &faulty_phase2;
+        phase1_schedules = &scratch.faulty_phase1;
+        phase2_schedules = &scratch.faulty_phase2;
     }
 
     // The physical channel: iid(params_.epsilon) by default, or whatever
@@ -183,35 +243,56 @@ TransportRound BeepTransport::decode_round(const Codebook::Round& round, const R
     phase1_engine.check_schedules(*phase1_schedules);
     phase2_engine.check_schedules(*phase2_schedules);
 
-    TransportRound result;
-    result.beep_rounds = 2 * b;
-    result.total_beeps =
+    TransportRoundStats& stats = batch.stats_[round_index];
+    stats.beep_rounds = 2 * b;
+    stats.total_beeps =
         faults.empty() ? round.phase1_beeps + round.phase2_beeps
                        : BatchEngine::total_beeps(*phase1_schedules) +
                              BatchEngine::total_beeps(*phase2_schedules);
-    result.delivered.resize(n);
 
     const Phase1Decoder phase1_decoder(codebook_->beep_code(), params_.epsilon);
-    const DistanceCode& distance_code = codebook_->distance_code();
-    const std::size_t decoy_count = codebook_->decoy_count();
-    const bool bitsliced = !round.codeword_slices.empty();
 
-    std::vector<NodeDiagnostics> diagnostics(n);
+    scratch.diagnostics.assign(n, NodeDiagnostics{});
 
-    pool_->parallel_for(n, [&](std::size_t worker, std::size_t node) {
+    DecodeContext ctx;
+    ctx.graph = &graph_;
+    ctx.codebook = codebook_;
+    ctx.round = &round;
+    ctx.messages = spec.messages;
+    ctx.phase1_schedules = phase1_schedules;
+    ctx.phase2_schedules = phase2_schedules;
+    ctx.phase1_engine = &phase1_engine;
+    ctx.phase2_engine = &phase2_engine;
+    ctx.phase1_decoder = &phase1_decoder;
+    ctx.distance_code = &codebook_->distance_code();
+    ctx.batch = &batch;
+    ctx.workspaces = &scratch.workspaces;
+    ctx.states = &scratch.states;
+    ctx.diagnostics = &scratch.diagnostics;
+    ctx.round_index = round_index;
+    ctx.n = n;
+    ctx.decoy_count = codebook_->decoy_count();
+    ctx.bitsliced = !round.codeword_slices.empty();
+    // Resolved once per round: what params_.simd_kernel actually runs as on
+    // this build/CPU (auto_best defers to NB_SIMD_KERNEL, then detection).
+    ctx.kernel = simd::resolve_kernel(params_.simd_kernel);
+
+    pool_->parallel_for(n, [&ctx](std::size_t worker, std::size_t node) {
+        const DecodeContext& c = ctx;
+        const Codebook::Round& rd = *c.round;
         const auto v = static_cast<NodeId>(node);
-        if (state[v] != NodeState::correct) {
-            return;  // faulty nodes produce no output (delivered stays empty)
+        if ((*c.states)[v] != NodeState::correct) {
+            return;  // faulty nodes produce no output (their slot stays empty)
         }
-        DecodeWorkspace& ws = workspaces[worker];
-        NodeDiagnostics& diag = diagnostics[v];
+        DecodeWorkspace& ws = (*c.workspaces)[worker];
+        NodeDiagnostics& diag = (*c.diagnostics)[v];
 
-        phase1_engine.hear_into(v, *phase1_schedules, ws.heard1);
+        c.phase1_engine->hear_into(v, *c.phase1_schedules, ws.heard1);
 
         // Candidate entries for this decoder: node ids first, then the null
         // payload and the decoys (one list, built once per transport).
-        const std::span<const std::uint32_t> entries = codebook_->candidate_entries(v);
-        const std::size_t node_candidates = codebook_->node_candidate_count(v);
+        const std::span<const std::uint32_t> entries = c.codebook->candidate_entries(v);
+        const std::size_t node_candidates = c.codebook->node_candidate_count(v);
 
         // Phase 1 decode: which candidate inputs pass the Lemma 9 test. The
         // node's own input is known; the paper includes it in R_v (inclusive
@@ -221,33 +302,35 @@ TransportRound BeepTransport::decode_round(const Codebook::Round& round, const R
         // per-candidate scalar kernel wins.
         ws.accepted_nodes.clear();
         ws.accepted_decoys.clear();
-        if (bitsliced) {
-            phase1_decoder.accept_all(ws.heard1, round.codeword_slices, ws.slice_scratch,
-                                      ws.accept_mask);
+        if (c.bitsliced) {
+            c.phase1_decoder->accept_all(ws.heard1, rd.codeword_slices, ws.slice_scratch,
+                                         ws.accept_mask, c.kernel);
             for (std::size_t w = 0; w < ws.accept_mask.size(); ++w) {
                 std::uint64_t bits = ws.accept_mask[w];
                 while (bits != 0) {
-                    const std::size_t c =
+                    const std::size_t cand =
                         w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
                     bits &= bits - 1;
-                    if (c < n) {
-                        if (c != v) {
-                            ws.accepted_nodes.push_back(static_cast<NodeId>(c));
+                    if (cand < c.n) {
+                        if (cand != v) {
+                            ws.accepted_nodes.push_back(static_cast<NodeId>(cand));
                         }
                     } else {
-                        ws.accepted_decoys.push_back(c - n);
+                        ws.accepted_decoys.push_back(cand - c.n);
                     }
                 }
             }
         } else {
             for (std::size_t i = 0; i < node_candidates; ++i) {
                 const NodeId u = entries[i];
-                if (u != v && phase1_decoder.accepts_codeword(ws.heard1, round.codewords[u])) {
+                if (u != v && c.phase1_decoder->accepts_codeword(ws.heard1, rd.codewords[u],
+                                                                 c.kernel)) {
                     ws.accepted_nodes.push_back(u);
                 }
             }
-            for (std::size_t i = 0; i < decoy_count; ++i) {
-                if (phase1_decoder.accepts_codeword(ws.heard1, round.decoy_codewords[i])) {
+            for (std::size_t i = 0; i < c.decoy_count; ++i) {
+                if (c.phase1_decoder->accepts_codeword(ws.heard1, rd.decoy_codewords[i],
+                                                       c.kernel)) {
                     ws.accepted_decoys.push_back(i);
                 }
             }
@@ -258,7 +341,7 @@ TransportRound BeepTransport::decode_round(const Codebook::Round& round, const R
         // accepting one counts as a false positive).
         std::size_t true_accepted = 0;
         for (const auto u : ws.accepted_nodes) {
-            if (graph_.has_edge(u, v) && state[u] == NodeState::correct) {
+            if (c.graph->has_edge(u, v) && (*c.states)[u] == NodeState::correct) {
                 ++true_accepted;
             } else {
                 ++diag.phase1_false_positives;
@@ -266,8 +349,8 @@ TransportRound BeepTransport::decode_round(const Codebook::Round& round, const R
         }
         diag.phase1_false_positives += ws.accepted_decoys.size();
         std::size_t correct_neighbors = 0;
-        for (const auto u : graph_.neighbors(v)) {
-            correct_neighbors += state[u] == NodeState::correct ? 1 : 0;
+        for (const auto u : c.graph->neighbors(v)) {
+            correct_neighbors += (*c.states)[u] == NodeState::correct ? 1 : 0;
         }
         diag.phase1_false_negatives += correct_neighbors - true_accepted;
 
@@ -276,65 +359,110 @@ TransportRound BeepTransport::decode_round(const Codebook::Round& round, const R
         // nearest-entry hint: when its encoding is within the unique-
         // decoding radius, the dictionary scan is skipped (exact; see
         // DistanceCode::nearest_entry).
-        phase2_engine.hear_into(v, *phase2_schedules, ws.heard2);
+        c.phase2_engine->hear_into(v, *c.phase2_schedules, ws.heard2);
 
-        auto decode_entry_at = [&](const std::vector<std::size_t>& positions,
+        auto decode_entry_at = [&](const Bitstring& codeword,
+                                   const std::vector<std::size_t>& positions,
                                    std::uint32_t hint_entry) {
-            ws.heard2.gather_into(positions, ws.gathered);
-            return distance_code.nearest_entry(ws.gathered, round.candidate_messages,
-                                               round.candidate_encoded, entries, hint_entry,
-                                               round.decode_gaps);
+            // The subsequence at the codeword's 1-positions: the vector
+            // kernels gather it with the word-wise PEXT walk straight off
+            // the packed codeword; the scalar kernel keeps the position-list
+            // gather (faster than emulated PEXT). Identical bits either way
+            // — positions ARE the codeword's 1-positions (property-tested).
+            if (c.kernel == simd::Kernel::scalar) {
+                ws.heard2.gather_into(positions, ws.gathered);
+            } else {
+                ws.heard2.gather_mask_into(codeword, ws.gathered, c.kernel);
+            }
+            // Full-dictionary sweeps (all_nodes above the bitslice
+            // crossover) run the vectorized SoA scan; the sparse two-hop
+            // entry lists keep the per-entry fold. Same hint shortcut, same
+            // winner, bit-identical (see nearest_entry_soa).
+            if (!rd.candidate_encoded_soa.empty()) {
+                return c.distance_code->nearest_entry_soa(
+                    ws.gathered, rd.candidate_messages, rd.candidate_encoded_soa, entries,
+                    hint_entry, rd.decode_gaps, ws.distances, c.kernel);
+            }
+            return c.distance_code->nearest_entry(ws.gathered, rd.candidate_messages,
+                                                  rd.candidate_encoded, entries, hint_entry,
+                                                  rd.decode_gaps);
+        };
+
+        // Deliveries land as fixed-stride records in this worker's arena;
+        // the run is contiguous because this worker decodes one node at a
+        // time (see transport_batch.h).
+        std::uint64_t run_start = 0;
+        std::uint32_t run_count = 0;
+        const std::size_t stride = c.batch->message_words();
+        auto deliver_tail = [&](std::uint32_t entry) {
+            const std::uint64_t offset = c.batch->push_record(worker);
+            if (run_count == 0) {
+                run_start = offset;
+            }
+            const std::vector<std::uint64_t>& words = rd.candidate_tails[entry].words();
+            std::memcpy(c.batch->record_at(worker, offset), words.data(),
+                        stride * sizeof(std::uint64_t));
+            ++run_count;
         };
 
         for (const auto u : ws.accepted_nodes) {
-            const std::uint32_t entry = decode_entry_at(round.one_positions[u], u);
-            const Bitstring& decoded = round.candidate_messages[entry];
-            if (graph_.has_edge(u, v) && state[u] == NodeState::correct &&
-                decoded != round.payloads[u]) {
+            const std::uint32_t entry =
+                decode_entry_at(rd.codewords[u], rd.one_positions[u], u);
+            const Bitstring& decoded = rd.candidate_messages[entry];
+            if (c.graph->has_edge(u, v) && (*c.states)[u] == NodeState::correct &&
+                decoded != rd.payloads[u]) {
                 ++diag.phase2_errors;
             }
             if (decoded.test(0)) {
-                result.delivered[v].push_back(round.candidate_tails[entry]);
+                deliver_tail(entry);
             }
         }
         for (const auto i : ws.accepted_decoys) {
-            const auto hint = static_cast<std::uint32_t>(n + 1 + i);
-            const std::uint32_t entry = decode_entry_at(round.decoy_one_positions[i], hint);
-            if (round.candidate_messages[entry].test(0)) {
-                result.delivered[v].push_back(round.candidate_tails[entry]);
+            const auto hint = static_cast<std::uint32_t>(c.n + 1 + i);
+            const std::uint32_t entry =
+                decode_entry_at(rd.decoy_codewords[i], rd.decoy_one_positions[i], hint);
+            if (rd.candidate_messages[entry].test(0)) {
+                deliver_tail(entry);
             }
         }
-        sort_messages(result.delivered[v]);
+        c.batch->commit_node(c.round_index, v, worker, run_start, run_count, ws.sort_tmp);
 
         // Ground-truth delivery for the mismatch diagnostic: faulty
         // neighbors' messages are lost by definition. The expected messages
-        // are the cached payload tails, compared through pointers so the
-        // check allocates nothing.
+        // are the cached payload tails, compared word-by-word against the
+        // arena records so the check allocates nothing.
         ws.expected.clear();
-        for (const auto u : graph_.neighbors(v)) {
-            if (messages[u].has_value() && state[u] == NodeState::correct) {
-                ws.expected.push_back(&round.candidate_tails[u]);
+        for (const auto u : c.graph->neighbors(v)) {
+            if ((*c.messages)[u].has_value() && (*c.states)[u] == NodeState::correct) {
+                ws.expected.push_back(&rd.candidate_tails[u]);
             }
         }
         std::sort(ws.expected.begin(), ws.expected.end(),
                   [](const Bitstring* a, const Bitstring* b) { return message_less(*a, *b); });
-        bool mismatch = ws.expected.size() != result.delivered[v].size();
+        bool mismatch = ws.expected.size() != run_count;
         for (std::size_t i = 0; !mismatch && i < ws.expected.size(); ++i) {
-            mismatch = *ws.expected[i] != result.delivered[v][i];
+            const std::span<const std::uint64_t> record =
+                c.batch->delivered_words(c.round_index, v, i);
+            const std::vector<std::uint64_t>& expect = ws.expected[i]->words();
+            for (std::size_t w = 0; w < stride; ++w) {
+                if (record[w] != expect[w]) {
+                    mismatch = true;
+                    break;
+                }
+            }
         }
         if (mismatch) {
             ++diag.delivery_mismatches;
         }
     });
 
-    for (const auto& diag : diagnostics) {
-        result.phase1_false_negatives += diag.phase1_false_negatives;
-        result.phase1_false_positives += diag.phase1_false_positives;
-        result.phase2_errors += diag.phase2_errors;
-        result.delivery_mismatches += diag.delivery_mismatches;
+    for (const auto& diag : scratch.diagnostics) {
+        stats.phase1_false_negatives += diag.phase1_false_negatives;
+        stats.phase1_false_positives += diag.phase1_false_positives;
+        stats.phase2_errors += diag.phase2_errors;
+        stats.delivery_mismatches += diag.delivery_mismatches;
     }
-    result.perfect = result.delivery_mismatches == 0;
-    return result;
+    stats.perfect = stats.delivery_mismatches == 0;
 }
 
 }  // namespace nb

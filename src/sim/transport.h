@@ -33,6 +33,7 @@
 #include "sim/codebook.h"
 #include "sim/codebook_cache.h"
 #include "sim/params.h"
+#include "sim/transport_batch.h"
 
 namespace nb {
 
@@ -119,6 +120,17 @@ public:
     std::vector<TransportRound> simulate_rounds(
         std::span<const RoundSpec> specs) const override;
 
+    /// The zero-copy batch path: decode `specs` into caller-owned arena
+    /// storage (see transport_batch.h). Bit-identical to simulate_rounds —
+    /// batch.to_round(i) reproduces result[i] exactly — but delivered
+    /// messages land as fixed-stride records in per-worker arenas instead
+    /// of per-node Bitstring vectors, and all decode scratch lives in the
+    /// batch, so a reused batch at its steady-state high-water mark decodes
+    /// with zero heap allocations. One simulate_rounds_into call writes a
+    /// batch at a time; simulate_rounds is this plus the per-round
+    /// conversion.
+    void simulate_rounds_into(std::span<const RoundSpec> specs, TransportBatch& batch) const;
+
     /// Fault-injected variant: `faults` nodes misbehave as described by
     /// FaultModel. Ground-truth diagnostics expect nothing from faulty nodes
     /// (their messages are lost by definition); deliveries at correct nodes
@@ -140,10 +152,8 @@ public:
     const Codebook& codebook() const noexcept { return *codebook_; }
 
 private:
-    struct DecodeWorkspace;
-
-    TransportRound decode_round(const Codebook::Round& round, const RoundSpec& spec,
-                                std::vector<DecodeWorkspace>& workspaces) const;
+    void decode_round_into(const Codebook::Round& round, const RoundSpec& spec,
+                           std::size_t round_index, TransportBatch& batch) const;
 
     const Graph& graph_;
     SimulationParams params_;
