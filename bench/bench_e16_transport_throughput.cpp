@@ -26,6 +26,7 @@
 #include "bench_util.h"
 #include "common/math_util.h"
 #include "common/simd/simd.h"
+#include "sim/codebook_cache.h"
 #include "sim/transport.h"
 
 namespace {
@@ -133,6 +134,17 @@ int main() {
     }
     table.print(std::cout, "simulate_round loop vs simulate_rounds_into batch");
 
+    // Cache pressure over the whole bench: every transport above acquired its
+    // codebook through the process-wide cache, so byte-capacity evictions or
+    // oversize fallbacks here mean the shipped workloads no longer fit the
+    // cache budget — rebuild churn that perf-smoke gates on (exactly 0).
+    const CodebookCache::Stats cache_stats = CodebookCache::instance().stats();
+    std::cout << "codebook cache: " << cache_stats.builds << " builds, "
+              << cache_stats.hits << " hits, " << cache_stats.bytes_resident
+              << " bytes resident, " << cache_stats.evictions_capacity
+              << " byte-cap evictions, " << cache_stats.oversize_uncached
+              << " oversize uncached\n\n";
+
     // The shared bench/scenario serializer (common/json.h via bench_util):
     // this bench is a caller of the one JSON writer, not a copy of it.
     bench::write_json_file("BENCH_transport.json", [&](JsonWriter& json) {
@@ -151,6 +163,15 @@ int main() {
             json.value(simd::kernel_name(k));
         }
         json.end_array();
+        json.end_object();
+        // Cache-pressure telemetry for the perf gate: rates above stay
+        // meaningful only while codebooks stay resident between transports.
+        json.key("codebook_cache").begin_object();
+        json.kv("builds", cache_stats.builds);
+        json.kv("hits", cache_stats.hits);
+        json.kv("bytes_resident", cache_stats.bytes_resident);
+        json.kv("evictions_capacity", cache_stats.evictions_capacity);
+        json.kv("oversize_uncached", cache_stats.oversize_uncached);
         json.end_object();
         json.key("results").begin_array();
         for (const auto& m : measurements) {

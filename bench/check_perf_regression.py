@@ -26,9 +26,12 @@ import json
 import sys
 
 
-def load_results(path):
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def load_results(doc, path):
     results = {}
     for row in doc.get("results", []):
         key = (row["n"], row["kernel"])
@@ -36,6 +39,23 @@ def load_results(path):
     if not results:
         raise ValueError(f"{path}: no results")
     return results
+
+
+def cache_pressure_failures(doc):
+    """Exact gate on the codebook cache block (absent in old baselines):
+    byte-capacity evictions or oversize fallbacks mean the shipped workloads
+    outgrew the cache budget — every affected transport construction pays a
+    full rebuild, which the throughput rows only partially expose."""
+    cache = doc.get("codebook_cache")
+    if cache is None:
+        return []
+    failures = []
+    for counter in ("evictions_capacity", "oversize_uncached"):
+        value = cache.get(counter, 0)
+        if value != 0:
+            failures.append(f"codebook_cache.{counter}={value} (cache pressure; "
+                            f"expected 0)")
+    return failures
 
 
 def reference_rate(results, path):
@@ -60,15 +80,16 @@ def main():
     args = parser.parse_args()
 
     try:
-        current = load_results(args.current)
-        baseline = load_results(args.baseline)
+        current_doc = load_doc(args.current)
+        current = load_results(current_doc, args.current)
+        baseline = load_results(load_doc(args.baseline), args.baseline)
         cur_ref = reference_rate(current, args.current)
         base_ref = reference_rate(baseline, args.baseline)
     except (OSError, KeyError, ValueError) as err:
         print(f"check_perf_regression: {err}", file=sys.stderr)
         return 1
 
-    failures = []
+    failures = cache_pressure_failures(current_doc)
     compared = 0
     for key in sorted(baseline):
         if key not in current:

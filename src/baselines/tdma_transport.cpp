@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "beep/batch_engine.h"
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/math_util.h"
 #include "congest/algorithm.h"
@@ -114,6 +115,7 @@ std::vector<TransportRound> TdmaTransport::simulate_rounds(
     // Decode buffers are per batch: sized on the first round, reused by all.
     std::vector<Bitstring> heard_buffers(pool_->worker_count());
     for (const auto& spec : specs) {
+        cancel_poll();  // round boundary, same contract as BeepTransport
         const std::shared_ptr<const ScheduleCache> cache = schedules_for(*spec.messages);
         results.push_back(decode_round(*cache, *spec.messages, spec.nonce, heard_buffers));
     }

@@ -4,8 +4,17 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace nb {
+
+namespace {
+
+// Per-node per-phase whole-transcript noise application — the hottest seam a
+// failpoint guards, which is why Site::check() must stay one relaxed load.
+NB_FAILPOINT_DEFINE(fp_channel_sample, "channel.sample");
+
+}  // namespace
 
 ChannelModel ChannelModel::iid(double epsilon, bool noise_on_own_beep) {
     ChannelModel model;
@@ -217,6 +226,7 @@ bool ChannelNoiseSampler::flip_next(bool received) {
 }
 
 void ChannelNoiseSampler::apply(Bitstring& transcript, bool dense) {
+    fp_channel_sample.check();
     switch (model_.kind) {
         case ChannelModelKind::iid:
         case ChannelModelKind::heterogeneous:

@@ -1,0 +1,23 @@
+#include "common/cancel.h"
+
+namespace nb {
+
+namespace {
+
+thread_local const CancelToken* current_token = nullptr;
+
+}  // namespace
+
+CancelScope::CancelScope(const CancelToken* token) noexcept : previous_(current_token) {
+    current_token = token;
+}
+
+CancelScope::~CancelScope() {
+    current_token = previous_;
+}
+
+const CancelToken* current_cancel_token() noexcept {
+    return current_token;
+}
+
+}  // namespace nb

@@ -1,0 +1,297 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "common/error.h"
+
+namespace nb::failpoint {
+namespace {
+
+// splitmix64 finisher: full-avalanche 64-bit mix. Used both to hash site
+// names and to turn (seed, name, draw counter) into a uniform [0, 1) draw,
+// so probabilistic sites fire on a reproducible subsequence of evaluations.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(const char* name) {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a, then mixed
+    for (const char* p = name; *p != '\0'; ++p) {
+        h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ull;
+    }
+    return mix64(h);
+}
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<const Site*> sites;
+    // NB_FAILPOINTS entries waiting for their site to register. Sites
+    // register during static initialization, which can interleave with this
+    // registry's own first use, so env config is held here and applied as
+    // each site constructs.
+    std::vector<std::pair<std::string, Config>> env_pending;
+    bool env_parsed = false;
+    std::uint64_t seed = 0x6e625f6670ull;  // "nb_fp"; NB_FAILPOINT_SEED overrides
+};
+
+Registry& registry() {
+    // Function-local static: initialized on first use regardless of which
+    // translation unit's Site constructs first.
+    static Registry r;
+    return r;
+}
+
+void parse_env_locked(Registry& r) {
+    if (r.env_parsed) {
+        return;
+    }
+    r.env_parsed = true;
+    if (const char* seed_env = std::getenv("NB_FAILPOINT_SEED")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(seed_env, &end, 10);
+        if (end != seed_env && *end == '\0') {
+            r.seed = static_cast<std::uint64_t>(v);
+        } else {
+            std::fprintf(stderr, "nb: ignoring malformed NB_FAILPOINT_SEED '%s'\n", seed_env);
+        }
+    }
+    const char* env = std::getenv("NB_FAILPOINTS");
+    if (env == nullptr) {
+        return;
+    }
+    std::string_view rest(env);
+    while (!rest.empty()) {
+        const std::size_t semi = rest.find(';');
+        const std::string_view entry = rest.substr(0, semi);
+        rest = (semi == std::string_view::npos) ? std::string_view{} : rest.substr(semi + 1);
+        if (entry.empty()) {
+            continue;
+        }
+        // This runs during static initialization: a throw here would call
+        // std::terminate before main(), so malformed entries are reported
+        // and skipped instead (nb_run's bad-input contract).
+        try {
+            r.env_pending.push_back(parse_spec(entry));
+        } catch (const precondition_error& e) {
+            std::fprintf(stderr, "nb: ignoring NB_FAILPOINTS entry '%.*s': %s\n",
+                         static_cast<int>(entry.size()), entry.data(), e.what());
+        }
+    }
+}
+
+double parse_probability(std::string_view text, std::string_view spec) {
+    const std::string copy(text);
+    char* end = nullptr;
+    const double p = std::strtod(copy.c_str(), &end);
+    require(end == copy.c_str() + copy.size() && end != copy.c_str() && p > 0.0 && p <= 1.0,
+            "failpoint spec '" + std::string(spec) + "': probability must be in (0, 1]");
+    return p;
+}
+
+}  // namespace
+
+Site::Site(const char* name) : name_(name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    parse_env_locked(r);
+    r.sites.push_back(this);
+    for (const auto& [site, config] : r.env_pending) {
+        if (site == name_) {
+            config_ = config;
+            armed_.store(config.mode != Mode::off, std::memory_order_relaxed);
+        }
+    }
+}
+
+void Site::fire() const {
+    Config cfg;
+    {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        cfg = config_;
+        if (cfg.mode == Mode::off) {
+            return;
+        }
+        if (cfg.max_hits != 0 && hits_.load(std::memory_order_relaxed) >= cfg.max_hits) {
+            return;
+        }
+        if (cfg.probability < 1.0) {
+            const std::uint64_t n = ++draws_;
+            const std::uint64_t bits = mix64(r.seed ^ hash_name(name_) ^ (n * 0x9e3779b97f4a7c15ull));
+            const double draw = static_cast<double>(bits >> 11) * 0x1.0p-53;
+            if (draw >= cfg.probability) {
+                return;
+            }
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    switch (cfg.mode) {
+        case Mode::inject_throw:
+            throw injected_fault(name_);
+        case Mode::delay:
+            std::this_thread::sleep_for(std::chrono::milliseconds(cfg.delay_ms));
+            return;
+        case Mode::oom:
+            throw std::bad_alloc();
+        case Mode::off:
+            return;
+    }
+}
+
+void configure(std::string_view site, const Config& config) {
+    require(config.probability > 0.0 && config.probability <= 1.0,
+            "failpoint probability must be in (0, 1]");
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    bool found = false;
+    for (const Site* s : r.sites) {
+        if (site == s->name_) {
+            s->config_ = config;
+            s->draws_ = 0;
+            s->hits_.store(0, std::memory_order_relaxed);
+            s->armed_.store(config.mode != Mode::off, std::memory_order_relaxed);
+            found = true;
+        }
+    }
+    require(found, "unknown failpoint site '" + std::string(site) + "'");
+}
+
+void clear(std::string_view site) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const Site* s : r.sites) {
+        if (site == s->name_) {
+            s->config_ = Config{};
+            s->armed_.store(false, std::memory_order_relaxed);
+        }
+    }
+}
+
+void clear_all() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const Site* s : r.sites) {
+        s->config_ = Config{};
+        s->armed_.store(false, std::memory_order_relaxed);
+    }
+}
+
+std::vector<std::string> registered_sites() {
+    Registry& r = registry();
+    std::vector<std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        names.reserve(r.sites.size());
+        for (const Site* s : r.sites) {
+            names.emplace_back(s->name_);
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+std::uint64_t hits(std::string_view site) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::uint64_t total = 0;
+    for (const Site* s : r.sites) {
+        if (site == s->name_) {
+            total += s->hits_.load(std::memory_order_relaxed);
+        }
+    }
+    return total;
+}
+
+std::pair<std::string, Config> parse_spec(std::string_view spec) {
+    const std::size_t eq = spec.find('=');
+    require(eq != std::string_view::npos && eq > 0,
+            "failpoint spec '" + std::string(spec) + "': expected site=mode[:arg][:p]");
+    const std::string site(spec.substr(0, eq));
+    std::string_view rhs = spec.substr(eq + 1);
+
+    std::vector<std::string_view> tokens;
+    while (true) {
+        const std::size_t colon = rhs.find(':');
+        tokens.push_back(rhs.substr(0, colon));
+        if (colon == std::string_view::npos) {
+            break;
+        }
+        rhs = rhs.substr(colon + 1);
+    }
+
+    Config config;
+    const std::string_view mode = tokens[0];
+    if (mode == "throw" || mode == "oom") {
+        config.mode = (mode == "throw") ? Mode::inject_throw : Mode::oom;
+        require(tokens.size() <= 2,
+                "failpoint spec '" + std::string(spec) + "': too many arguments for mode");
+        if (tokens.size() == 2) {
+            config.probability = parse_probability(tokens[1], spec);
+        }
+    } else if (mode == "delay") {
+        config.mode = Mode::delay;
+        require(tokens.size() >= 2 && tokens.size() <= 3,
+                "failpoint spec '" + std::string(spec) + "': delay needs delay:MS[:p]");
+        const std::string ms(tokens[1]);
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(ms.c_str(), &end, 10);
+        require(end == ms.c_str() + ms.size() && end != ms.c_str() && v <= 3'600'000,
+                "failpoint spec '" + std::string(spec) + "': delay milliseconds must be an integer <= 3600000");
+        config.delay_ms = static_cast<std::uint32_t>(v);
+        if (tokens.size() == 3) {
+            config.probability = parse_probability(tokens[2], spec);
+        }
+    } else {
+        require(false, "failpoint spec '" + std::string(spec) +
+                           "': unknown mode (expected throw, delay, or oom)");
+    }
+    return {site, config};
+}
+
+std::string active_summary() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> parts;
+    for (const Site* s : r.sites) {
+        if (!s->armed_.load(std::memory_order_relaxed)) {
+            continue;
+        }
+        std::string part(s->name_);
+        switch (s->config_.mode) {
+            case Mode::inject_throw: part += "=throw"; break;
+            case Mode::delay: part += "=delay:" + std::to_string(s->config_.delay_ms); break;
+            case Mode::oom: part += "=oom"; break;
+            case Mode::off: break;
+        }
+        if (s->config_.probability < 1.0) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " p=%g", s->config_.probability);
+            part += buf;
+        }
+        if (s->config_.max_hits != 0) {
+            part += " max_hits=" + std::to_string(s->config_.max_hits);
+        }
+        parts.push_back(std::move(part));
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string out;
+    for (const std::string& p : parts) {
+        if (!out.empty()) {
+            out += "; ";
+        }
+        out += p;
+    }
+    return out;
+}
+
+}  // namespace nb::failpoint

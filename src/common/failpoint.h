@@ -1,0 +1,145 @@
+// Failpoint fault-injection framework (see DESIGN.md section 9).
+//
+// A failpoint is a named site in a risky seam — codebook construction, cache
+// insert/evict, channel sampling, spec parsing, per-job sweep execution —
+// where a test, a CI job, or an operator can inject a fault without touching
+// the code under test: throw an exception, sleep, or simulate allocation
+// failure. Sites are defined once at namespace scope in the .cpp that owns
+// the seam (NB_FAILPOINT_DEFINE) and checked inline on the code path
+// (site.check()); when a site is not armed the check compiles to a single
+// relaxed atomic load of that site's own flag — no registry lookup, no lock,
+// no measurable cost on hot paths (the perf-smoke gate pins this).
+//
+// Activation:
+//   * environment — NB_FAILPOINTS="site=mode[:arg][:p];site2=..." arms sites
+//     for a whole process (parsed once, at the first Site's static
+//     construction). Modes: `throw` (inject failpoint::injected_fault),
+//     `delay:MS` (sleep MS milliseconds), `oom` (throw std::bad_alloc). The
+//     optional trailing `:p` in (0, 1] fires the site probabilistically per
+//     evaluation — `codebook.build=throw:0.2` throws on ~20% of builds.
+//   * programmatic — failpoint::configure(site, Config{...}) /
+//     failpoint::clear(site) / failpoint::clear_all() from tests, including
+//     Config::max_hits to model *transient* faults that stop firing after a
+//     budget (the retry property tests use this: fail k times, then heal).
+//
+// Probability draws are deterministic: each site owns a draw counter hashed
+// through a fixed seed, so a given binary fires the same evaluations of a
+// site in the same order every run (thread interleaving still decides which
+// caller observes which draw). NB_FAILPOINT_SEED overrides the seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nb::failpoint {
+
+/// What a `throw`-mode site injects. Deliberately NOT a precondition_error:
+/// the sweep engine classifies it as transient (retryable), while
+/// precondition violations are fatal (see DESIGN.md section 9).
+class injected_fault : public std::runtime_error {
+public:
+    explicit injected_fault(const std::string& site)
+        : std::runtime_error("injected fault at failpoint '" + site + "'"), site_(site) {}
+
+    const std::string& site() const noexcept { return site_; }
+
+private:
+    std::string site_;
+};
+
+enum class Mode : unsigned char {
+    off,
+    inject_throw,  ///< throw injected_fault(site)
+    delay,         ///< sleep delay_ms, then continue
+    oom,           ///< throw std::bad_alloc (simulated allocation failure)
+};
+
+struct Config {
+    Mode mode = Mode::off;
+    double probability = 1.0;     ///< fire chance per evaluation, (0, 1]
+    std::uint32_t delay_ms = 0;   ///< Mode::delay sleep
+    std::uint64_t max_hits = 0;   ///< stop firing after this many fires (0 = unlimited)
+};
+
+/// One named injection site. Define at namespace scope with
+/// NB_FAILPOINT_DEFINE so registration happens during static initialization
+/// and the registry is complete before main() (test_failpoints sweeps it).
+/// Sites are immovable — the registry holds their addresses for the life of
+/// the process.
+class Site {
+public:
+    explicit Site(const char* name);
+
+    Site(const Site&) = delete;
+    Site& operator=(const Site&) = delete;
+
+    /// The hot-path check: one relaxed atomic load when the site is not
+    /// armed. When armed, applies the configured action (which may throw).
+    void check() const {
+        if (armed_.load(std::memory_order_relaxed)) {
+            fire();
+        }
+    }
+
+    const char* name() const noexcept { return name_; }
+
+    /// Times this site actually fired (post-probability, post-budget).
+    std::uint64_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
+
+private:
+    friend void configure(std::string_view, const Config&);
+    friend void clear(std::string_view);
+    friend void clear_all();
+    friend std::vector<std::string> registered_sites();
+    friend std::uint64_t hits(std::string_view);
+    friend std::string active_summary();
+
+    void fire() const;
+
+    const char* name_;
+    mutable std::atomic<bool> armed_{false};
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::uint64_t draws_ = 0;  ///< probability-draw counter (registry mutex)
+    mutable Config config_;            ///< guarded by the registry mutex
+};
+
+/// Defines the site object for this translation unit. Usage, at namespace
+/// scope inside the owning .cpp:
+///   NB_FAILPOINT_DEFINE(fp_codebook_build, "codebook.build");
+///   ...
+///   fp_codebook_build.check();
+#define NB_FAILPOINT_DEFINE(identifier, site_name) \
+    const ::nb::failpoint::Site identifier{site_name}
+
+/// Arm every site with this name (site names are unique in practice; the
+/// registry tolerates duplicates by arming all of them). Throws
+/// precondition_error if no such site exists or the config is malformed.
+void configure(std::string_view site, const Config& config);
+
+/// Disarm one site / every site. Safe when nothing is armed.
+void clear(std::string_view site);
+void clear_all();
+
+/// Every site name registered so far, sorted. Complete after static
+/// initialization, i.e. from the first line of main() or any test.
+std::vector<std::string> registered_sites();
+
+/// Total fires of the named site (0 if unknown).
+std::uint64_t hits(std::string_view site);
+
+/// Parse one NB_FAILPOINTS-syntax spec ("site=throw:0.2") into (site,
+/// Config); throws precondition_error naming the malformed piece. Exposed so
+/// tests cover the parser without round-tripping through the environment.
+std::pair<std::string, Config> parse_spec(std::string_view spec);
+
+/// Human summary of the armed sites ("codebook.build=throw p=0.2; ..."), or
+/// empty when nothing is armed. nb_run prints this when NB_FAILPOINTS is set
+/// so CI logs show what was actually injected.
+std::string active_summary();
+
+}  // namespace nb::failpoint

@@ -1,0 +1,413 @@
+#include "common/json_parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.h"
+
+namespace nb {
+
+namespace {
+
+const char* kind_name(JsonValue::Kind kind) {
+    switch (kind) {
+        case JsonValue::Kind::null: return "null";
+        case JsonValue::Kind::boolean: return "boolean";
+        case JsonValue::Kind::number: return "number";
+        case JsonValue::Kind::string: return "string";
+        case JsonValue::Kind::array: return "array";
+        case JsonValue::Kind::object: return "object";
+    }
+    return "unknown";
+}
+
+[[noreturn]] void kind_error(const char* wanted, JsonValue::Kind actual) {
+    throw precondition_error(std::string("JSON: expected ") + wanted + ", got " +
+                             kind_name(actual));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+    if (kind_ != Kind::boolean) {
+        kind_error("boolean", kind_);
+    }
+    return bool_;
+}
+
+const std::string& JsonValue::as_string() const {
+    if (kind_ != Kind::string) {
+        kind_error("string", kind_);
+    }
+    return scalar_;
+}
+
+const std::string& JsonValue::raw_number() const {
+    if (kind_ != Kind::number) {
+        kind_error("number", kind_);
+    }
+    return scalar_;
+}
+
+double JsonValue::as_double() const {
+    const std::string& raw = raw_number();
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(raw.c_str(), &end);
+    require(end == raw.c_str() + raw.size() && errno != ERANGE,
+            "JSON: number '" + raw + "' is not a finite double");
+    return value;
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+    const std::string& raw = raw_number();
+    require(raw.find_first_of(".eE-") == std::string::npos,
+            "JSON: number '" + raw + "' is not an unsigned integer");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+    require(end == raw.c_str() + raw.size() && errno != ERANGE,
+            "JSON: number '" + raw + "' overflows uint64");
+    return static_cast<std::uint64_t>(value);
+}
+
+std::int64_t JsonValue::as_int64() const {
+    const std::string& raw = raw_number();
+    require(raw.find_first_of(".eE") == std::string::npos,
+            "JSON: number '" + raw + "' is not an integer");
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(raw.c_str(), &end, 10);
+    require(end == raw.c_str() + raw.size() && errno != ERANGE,
+            "JSON: number '" + raw + "' overflows int64");
+    return static_cast<std::int64_t>(value);
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+    if (kind_ != Kind::array) {
+        kind_error("array", kind_);
+    }
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+    if (kind_ != Kind::object) {
+        kind_error("object", kind_);
+    }
+    return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    if (kind_ != Kind::object) {
+        return nullptr;
+    }
+    for (const auto& [name, value] : members_) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue parse_document() {
+        JsonValue value = parse_value(0);
+        skip_whitespace();
+        if (pos_ != text_.size()) {
+            fail("trailing content after the JSON document");
+        }
+        return value;
+    }
+
+private:
+    static constexpr std::size_t max_depth = 64;
+
+    [[noreturn]] void fail(const std::string& reason) const {
+        // 1-based line:column of the current position, for spec-file
+        // diagnostics a human can follow.
+        std::size_t line = 1;
+        std::size_t column = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        throw precondition_error("JSON parse error at " + std::to_string(line) + ":" +
+                                 std::to_string(column) + ": " + reason);
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+                break;
+            }
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view literal) {
+        if (text_.substr(pos_, literal.size()) != literal) {
+            return false;
+        }
+        pos_ += literal.size();
+        return true;
+    }
+
+    JsonValue parse_value(std::size_t depth) {
+        if (depth > max_depth) {
+            fail("nesting deeper than 64 levels");
+        }
+        skip_whitespace();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object(depth);
+            case '[': return parse_array(depth);
+            case '"': {
+                JsonValue value;
+                value.kind_ = JsonValue::Kind::string;
+                value.scalar_ = parse_string();
+                return value;
+            }
+            case 't':
+            case 'f': {
+                JsonValue value;
+                value.kind_ = JsonValue::Kind::boolean;
+                value.bool_ = (c == 't');
+                if (!consume_literal(c == 't' ? "true" : "false")) {
+                    fail("invalid literal");
+                }
+                return value;
+            }
+            case 'n':
+                if (!consume_literal("null")) {
+                    fail("invalid literal");
+                }
+                return JsonValue{};
+            default:
+                return parse_number();
+        }
+    }
+
+    JsonValue parse_object(std::size_t depth) {
+        expect('{');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::object;
+        skip_whitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            skip_whitespace();
+            if (peek() != '"') {
+                fail("expected a quoted object key");
+            }
+            std::string key = parse_string();
+            skip_whitespace();
+            expect(':');
+            value.members_.emplace_back(std::move(key), parse_value(depth + 1));
+            skip_whitespace();
+            const char next = peek();
+            if (next == ',') {
+                ++pos_;
+                continue;
+            }
+            if (next == '}') {
+                ++pos_;
+                return value;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue parse_array(std::size_t depth) {
+        expect('[');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::array;
+        skip_whitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            value.items_.push_back(parse_value(depth + 1));
+            skip_whitespace();
+            const char next = peek();
+            if (next == ',') {
+                ++pos_;
+                continue;
+            }
+            if (next == ']') {
+                ++pos_;
+                return value;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': append_unicode_escape(out); break;
+                default: fail("invalid escape sequence");
+            }
+        }
+    }
+
+    std::uint32_t parse_hex4() {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+        }
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            value <<= 4;
+            if (c >= '0' && c <= '9') {
+                value |= static_cast<std::uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                value |= static_cast<std::uint32_t>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                value |= static_cast<std::uint32_t>(c - 'A' + 10);
+            } else {
+                fail("invalid hex digit in \\u escape");
+            }
+        }
+        return value;
+    }
+
+    void append_unicode_escape(std::string& out) {
+        std::uint32_t code = parse_hex4();
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+                fail("unpaired surrogate in \\u escape");
+            }
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+                fail("invalid low surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired surrogate in \\u escape");
+        }
+        // UTF-8 encode.
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        const auto digits = [this] {
+            std::size_t count = 0;
+            while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++count;
+            }
+            return count;
+        };
+        const std::size_t int_digits = digits();
+        if (int_digits == 0) {
+            fail("invalid number");
+        }
+        if (int_digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+            fail("numbers may not have leading zeros");
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0) {
+                fail("expected digits after the decimal point");
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (digits() == 0) {
+                fail("expected digits in the exponent");
+            }
+        }
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::number;
+        value.scalar_.assign(text_.substr(start, pos_ - start));
+        return value;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+    JsonParser parser(text);
+    return parser.parse_document();
+}
+
+}  // namespace nb

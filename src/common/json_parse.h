@@ -1,0 +1,79 @@
+// Minimal recursive-descent JSON parser — the read side of common/json.h.
+//
+// The library stayed write-only until the resilience layer needed to read
+// two kinds of JSON it writes itself: sweep journal records (checkpoint /
+// --resume replays completed jobs from BENCH_sweep.journal.jsonl) and
+// user-authored spec files (`nb_run --spec FILE`). Both uses shape the
+// design:
+//
+//   * numbers keep their raw text. The journal round-trips uint64 counters
+//     (total_beeps, seeds) that a double would silently truncate past 2^53;
+//     as_uint64()/as_int64() parse the original digits exactly, and
+//     as_double() goes through the same strtod the writer's format_double is
+//     the inverse of.
+//   * errors are precondition_error with 1-based line:column positions, so
+//     nb_run's bad-input contract (one-line diagnostic, exit 2) can name
+//     where a hand-written spec file broke.
+//   * objects preserve insertion order and expose both lookup (find) and
+//     iteration, so spec parsing can reject unknown keys by name.
+//
+// Scope: RFC 8259 minus \u escapes beyond Basic Latin (\uXXXX is decoded to
+// UTF-8; surrogate pairs are supported), no comments, no trailing commas —
+// exactly what the writer emits plus what hand-written specs need.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nb {
+
+class JsonValue {
+public:
+    enum class Kind : unsigned char { null, boolean, number, string, array, object };
+
+    JsonValue() = default;
+
+    Kind kind() const noexcept { return kind_; }
+    bool is_null() const noexcept { return kind_ == Kind::null; }
+    bool is_bool() const noexcept { return kind_ == Kind::boolean; }
+    bool is_number() const noexcept { return kind_ == Kind::number; }
+    bool is_string() const noexcept { return kind_ == Kind::string; }
+    bool is_array() const noexcept { return kind_ == Kind::array; }
+    bool is_object() const noexcept { return kind_ == Kind::object; }
+
+    /// Typed accessors; each throws precondition_error naming the actual
+    /// kind on mismatch (and, for the integer forms, on range/fraction
+    /// violations — "1.5" is not a uint64).
+    bool as_bool() const;
+    const std::string& as_string() const;    ///< decoded string contents
+    double as_double() const;
+    std::uint64_t as_uint64() const;         ///< exact, from the raw digits
+    std::int64_t as_int64() const;
+    const std::string& raw_number() const;   ///< the untouched number token
+
+    const std::vector<JsonValue>& items() const;  ///< array elements
+    const std::vector<std::pair<std::string, JsonValue>>& members() const;  ///< object, in order
+
+    /// Object member lookup; null if absent (or not an object).
+    const JsonValue* find(std::string_view key) const;
+
+    /// Parse one complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected). Throws precondition_error with a
+    /// "line:column: reason" prefix on malformed input.
+    static JsonValue parse(std::string_view text);
+
+private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::null;
+    bool bool_ = false;
+    std::string scalar_;  ///< string contents or raw number text
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace nb

@@ -60,7 +60,8 @@ struct ThreadPool::Impl {
         }
     }
 
-    void run(std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
+    void run(std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn,
+             const CancelToken* token) {
         // One job at a time: concurrent parallel_for callers (e.g. two
         // threads sharing one transport) queue here instead of clobbering
         // each other's job state.
@@ -68,6 +69,7 @@ struct ThreadPool::Impl {
         {
             std::lock_guard<std::mutex> lock(mutex);
             job_fn = &fn;
+            job_token = token;
             job_count = count;
             next_index.store(0, std::memory_order_relaxed);
             active_helpers = helpers.size();
@@ -80,6 +82,7 @@ struct ThreadPool::Impl {
             std::unique_lock<std::mutex> lock(mutex);
             job_done.wait(lock, [this] { return active_helpers == 0; });
             job_fn = nullptr;
+            job_token = nullptr;
             if (error != nullptr) {
                 std::rethrow_exception(error);
             }
@@ -94,6 +97,18 @@ struct ThreadPool::Impl {
         const std::size_t chunk =
             std::max<std::size_t>(1, job_count / (8 * total_workers));
         while (true) {
+            // Cancellation boundary: a cancelled/past-deadline token stops
+            // this worker before it claims more work and records the
+            // cancellation through the same error slot an fn exception uses,
+            // so the drain-and-rethrow path keeps the pool reusable.
+            if (job_token != nullptr && job_token->cancelled()) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (error == nullptr) {
+                    error = std::make_exception_ptr(cancelled_error());
+                }
+                next_index.store(job_count, std::memory_order_relaxed);
+                return;
+            }
             const std::size_t begin = next_index.fetch_add(chunk, std::memory_order_relaxed);
             if (begin >= job_count) {
                 return;
@@ -143,6 +158,7 @@ struct ThreadPool::Impl {
     std::condition_variable work_ready;
     std::condition_variable job_done;
     const std::function<void(std::size_t, std::size_t)>* job_fn = nullptr;
+    const CancelToken* job_token = nullptr;  ///< written under run_mutex before the job starts
     std::size_t job_count = 0;
     std::atomic<std::size_t> next_index{0};
     std::size_t active_helpers = 0;
@@ -174,6 +190,12 @@ ThreadPool::~ThreadPool() = default;
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
+    parallel_for(count, fn, nullptr);
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              const CancelToken* token) {
     require(static_cast<bool>(fn), "ThreadPool::parallel_for: empty function");
     if (count == 0) {
         return;
@@ -187,11 +209,14 @@ void ThreadPool::parallel_for(std::size_t count,
     if (nested || impl_ == nullptr || count == 1) {
         const std::size_t worker = nested ? current_pool_worker : 0;
         for (std::size_t index = 0; index < count; ++index) {
+            if (token != nullptr) {
+                token->poll();
+            }
             fn(worker, index);
         }
         return;
     }
-    impl_->run(count, fn);
+    impl_->run(count, fn, token);
 }
 
 }  // namespace nb

@@ -18,6 +18,8 @@
 #include <functional>
 #include <memory>
 
+#include "common/cancel.h"
+
 namespace nb {
 
 class ThreadPool {
@@ -46,6 +48,16 @@ public:
     /// outputs, no added parallelism, no deadlock, no scratch aliasing.
     void parallel_for(std::size_t count,
                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /// parallel_for with cooperative cancellation: `token` (may be null =
+    /// plain parallel_for) is checked before every chunk claim, so a
+    /// cancelled or past-deadline token stops the job within one chunk and
+    /// cancelled_error is rethrown to the caller. Already-started indices
+    /// finish; the pool stays fully reusable afterwards (same drain path as
+    /// an exception thrown by fn).
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t, std::size_t)>& fn,
+                      const CancelToken* token);
 
     /// The worker count `requested` resolves to: itself if nonzero, else
     /// hardware concurrency (at least 1).

@@ -1,0 +1,207 @@
+#include "scenarios/journal.h"
+
+#include <unistd.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/json_parse.h"
+
+namespace nb {
+
+namespace {
+
+constexpr const char* journal_schema = "nb-sweep-journal/v1";
+
+/// Required-field lookup with a diagnostic that names the field.
+const JsonValue& member(const JsonValue& object, const char* key) {
+    const JsonValue* value = object.find(key);
+    require(value != nullptr, std::string("journal record: missing field '") + key + "'");
+    return *value;
+}
+
+std::size_t member_size_t(const JsonValue& object, const char* key) {
+    return static_cast<std::size_t>(member(object, key).as_uint64());
+}
+
+}  // namespace
+
+SweepJournal::~SweepJournal() {
+    close();
+}
+
+void SweepJournal::open(const std::string& path, const std::string& sweep_name,
+                        std::uint64_t sweep_fingerprint, std::size_t jobs, bool append) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require(file_ == nullptr, "SweepJournal: already open");
+    if (append) {
+        // Drop a torn trailing line (what SIGKILL mid-append leaves) before
+        // appending: without this, the first new record would concatenate
+        // onto the torn bytes and corrupt itself too. The reader tolerates
+        // the torn tail, but the healed journal must be fully replayable.
+        if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
+            std::string text;
+            char buffer[1 << 16];
+            std::size_t got = 0;
+            while ((got = std::fread(buffer, 1, sizeof buffer, existing)) > 0) {
+                text.append(buffer, got);
+            }
+            std::fclose(existing);
+            if (!text.empty() && text.back() != '\n') {
+                const std::size_t last_newline = text.find_last_of('\n');
+                const off_t keep =
+                    last_newline == std::string::npos
+                        ? 0
+                        : static_cast<off_t>(last_newline + 1);
+                if (::truncate(path.c_str(), keep) != 0) {
+                    throw precondition_error(
+                        "SweepJournal: cannot drop the torn tail of '" + path + "'");
+                }
+            }
+        }
+    }
+    file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+    require(file_ != nullptr, "SweepJournal: cannot open '" + path + "' for writing");
+    path_ = path;
+    if (!append) {
+        std::ostringstream line;
+        JsonWriter json(line, /*indent=*/0);
+        json.begin_object();
+        json.kv("schema", journal_schema);
+        json.kv("sweep", sweep_name);
+        json.kv("fingerprint", sweep_fingerprint);
+        json.kv("jobs", static_cast<std::uint64_t>(jobs));
+        json.end_object();
+        const std::string text = line.str() + "\n";
+        if (std::fwrite(text.data(), 1, text.size(), file_) != text.size() ||
+            std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+            std::fclose(file_);
+            file_ = nullptr;
+            throw precondition_error("SweepJournal: cannot write the header to '" + path + "'");
+        }
+    }
+}
+
+void SweepJournal::append(const JournalRecord& record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr) {
+        return;
+    }
+    std::ostringstream line;
+    JsonWriter json(line, /*indent=*/0);
+    json.begin_object();
+    json.kv("job", static_cast<std::uint64_t>(record.job));
+    json.kv("fingerprint", record.fingerprint);
+    json.kv("attempts", static_cast<std::uint64_t>(record.attempts));
+    json.key("result");
+    scenario_result_json(json, record.result, /*include_timing=*/false);
+    json.end_object();
+    const std::string text = line.str() + "\n";
+    // One fully-formed line per completed job, durable before the append
+    // returns: fwrite the whole line, then fflush + fsync. A crash between
+    // records loses at most the record being written, which the reader's
+    // drop-truncated-tail rule absorbs.
+    if (std::fwrite(text.data(), 1, text.size(), file_) != text.size() ||
+        std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+        std::fprintf(stderr,
+                     "nb: sweep journal '%s' write failed; checkpointing disabled for the "
+                     "rest of this sweep\n",
+                     path_.c_str());
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+void SweepJournal::close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+JournalContents read_journal(const std::string& path) {
+    JournalContents contents;
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        return contents;  // no journal: nothing to resume
+    }
+    std::string text;
+    char buffer[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+        text.append(buffer, got);
+    }
+    std::fclose(file);
+
+    std::size_t line_number = 0;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        const bool unterminated = end == std::string::npos;
+        if (unterminated) {
+            end = text.size();
+        }
+        const std::string_view line(text.data() + start, end - start);
+        start = unterminated ? text.size() : end + 1;
+        ++line_number;
+        if (line.empty()) {
+            continue;
+        }
+        try {
+            const JsonValue value = JsonValue::parse(line);
+            if (line_number == 1) {
+                require(member(value, "schema").as_string() == journal_schema,
+                        "journal header: unknown schema");
+                contents.sweep_name = member(value, "sweep").as_string();
+                contents.fingerprint = member(value, "fingerprint").as_uint64();
+                contents.jobs = member_size_t(value, "jobs");
+                contents.header_ok = true;
+                continue;
+            }
+            JournalRecord record;
+            record.job = member_size_t(value, "job");
+            record.fingerprint = member(value, "fingerprint").as_uint64();
+            record.attempts = member_size_t(value, "attempts");
+            record.result = scenario_result_from_json(member(value, "result"));
+            contents.records.push_back(std::move(record));
+        } catch (const precondition_error& e) {
+            if (unterminated) {
+                // The torn tail a mid-append crash leaves behind: expected.
+                break;
+            }
+            if (line_number == 1) {
+                // Unusable header: nothing in this file can be trusted.
+                return contents;
+            }
+            std::fprintf(stderr, "nb: sweep journal '%s' line %zu unreadable (%s); skipping\n",
+                         path.c_str(), line_number, e.what());
+        }
+    }
+    return contents;
+}
+
+ScenarioResult scenario_result_from_json(const JsonValue& value) {
+    require(value.is_object(), "journal record: 'result' must be an object");
+    ScenarioResult result;
+    result.name = member(value, "name").as_string();
+    result.description = member(value, "description").as_string();
+    result.topology = member(value, "topology").as_string();
+    result.channel = member(value, "channel").as_string();
+    result.transport = member(value, "transport").as_string();
+    result.node_count = member_size_t(value, "n");
+    result.max_degree = member_size_t(value, "delta");
+    result.rounds = member_size_t(value, "rounds");
+    result.perfect_rounds = member_size_t(value, "perfect_rounds");
+    result.beep_rounds_per_round = member_size_t(value, "beep_rounds_per_round");
+    result.total_beeps = member(value, "total_beeps").as_uint64();
+    result.phase1_false_negatives = member_size_t(value, "phase1_false_negatives");
+    result.phase1_false_positives = member_size_t(value, "phase1_false_positives");
+    result.phase2_errors = member_size_t(value, "phase2_errors");
+    result.delivery_mismatches = member_size_t(value, "delivery_mismatches");
+    // perfect_fraction is derived (and re-derived at serialization);
+    // wall_seconds / rounds_per_second are excluded from canonical bytes.
+    return result;
+}
+
+}  // namespace nb

@@ -1,0 +1,100 @@
+// Sweep checkpoint journal: one fsync'd JSONL record per completed job
+// (see DESIGN.md section 9).
+//
+// A long sweep that dies — SIGKILL, OOM, power — should not repeat finished
+// work. run_sweep appends one line to the journal as each job completes:
+//
+//   {"schema":"nb-sweep-journal/v1","sweep":...,"fingerprint":F,"jobs":N}
+//   {"job":7,"fingerprint":J7,"attempts":1,"result":{...}}
+//   ...
+//
+// The header carries the whole-sweep fingerprint (a digest over every
+// expanded job's scenario_spec_fingerprint); each record carries its own
+// job's fingerprint. `nb_run --sweep --resume` replays records whose sweep
+// AND job fingerprints match the freshly expanded spec — any spec edit
+// invalidates exactly the records it could have changed — and re-runs the
+// rest. Because a job's ScenarioResult is a pure function of its spec and
+// the canonical result fields are integers and strings (exact JSON
+// round-trip; timing is excluded), a resumed sweep's final artifact is
+// byte-identical to an uninterrupted run's.
+//
+// Durability: every append is fflush + fsync before the call returns, so a
+// record either fully exists on disk or was never acknowledged; the reader
+// drops an unparseable trailing line (the one a crash can truncate) instead
+// of failing.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.h"
+
+namespace nb {
+
+class JsonValue;
+
+/// One completed job, as journaled.
+struct JournalRecord {
+    std::size_t job = 0;             ///< index into SweepSpec::expand() order
+    std::uint64_t fingerprint = 0;   ///< scenario_spec_fingerprint of that job
+    std::size_t attempts = 1;        ///< attempts the original run needed
+    ScenarioResult result;           ///< canonical fields only (no timing)
+};
+
+/// Append-side handle. Not opened = every append is a no-op, so run_sweep
+/// threads one instance through unconditionally. Appends are serialized by
+/// an internal mutex (sweep workers complete concurrently) and fsync'd.
+/// Write failures (disk full, path gone) disable the journal with one
+/// stderr warning rather than failing the sweep — checkpointing is an aid,
+/// never the reason a computed result is lost.
+class SweepJournal {
+public:
+    SweepJournal() = default;
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal&) = delete;
+    SweepJournal& operator=(const SweepJournal&) = delete;
+
+    /// Open `path` and make it ready for records. append=false truncates and
+    /// writes a fresh header; append=true (resume) seeks to the end, keeping
+    /// the existing header and records. Throws precondition_error if the
+    /// file cannot be opened.
+    void open(const std::string& path, const std::string& sweep_name,
+              std::uint64_t sweep_fingerprint, std::size_t jobs, bool append);
+
+    bool is_open() const noexcept { return file_ != nullptr; }
+
+    /// Write one record line, fsync'd. Thread-safe. No-op when not open.
+    void append(const JournalRecord& record);
+
+    void close();
+
+private:
+    std::mutex mutex_;
+    std::FILE* file_ = nullptr;
+    std::string path_;
+};
+
+/// Everything read_journal recovered from a journal file.
+struct JournalContents {
+    bool header_ok = false;  ///< a valid header line was present
+    std::string sweep_name;
+    std::uint64_t fingerprint = 0;  ///< whole-sweep fingerprint from the header
+    std::size_t jobs = 0;
+    std::vector<JournalRecord> records;  ///< every fully-written record, in file order
+};
+
+/// Read a journal tolerantly: a missing file or unreadable header yields
+/// header_ok=false; a truncated or corrupt trailing line is dropped; corrupt
+/// interior lines are skipped with a stderr warning. Never throws on bad
+/// file contents (crash debris must not block --resume).
+JournalContents read_journal(const std::string& path);
+
+/// Rebuild a ScenarioResult from scenario_result_json output (the no-timing
+/// form). Throws precondition_error naming the missing/mistyped field.
+ScenarioResult scenario_result_from_json(const JsonValue& value);
+
+}  // namespace nb

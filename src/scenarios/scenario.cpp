@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "graph/generators.h"
 
 namespace nb {
@@ -235,6 +237,86 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         result.delivery_mismatches += round.delivery_mismatches;
     }
     return result;
+}
+
+std::uint64_t scenario_spec_fingerprint(const ScenarioSpec& spec) {
+    std::uint64_t h = 0x6e622d737063ULL;  // "nb-spc"
+    const auto mix = [&h](std::uint64_t value) { h = mix64(h ^ value); };
+    const auto mix_double = [&mix](double value) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        std::memcpy(&bits, &value, sizeof(bits));
+        mix(bits);
+    };
+    const auto mix_string = [&mix](const std::string& text) {
+        mix(text.size());
+        std::uint64_t word = 0;
+        std::size_t fill = 0;
+        for (const char c : text) {
+            word = (word << 8) | static_cast<unsigned char>(c);
+            if (++fill == 8) {
+                mix(word);
+                word = 0;
+                fill = 0;
+            }
+        }
+        if (fill != 0) {
+            mix(word);
+        }
+    };
+
+    mix_string(spec.name);
+    mix_string(spec.description);
+
+    mix(static_cast<std::uint64_t>(spec.topology.family));
+    mix(spec.topology.n);
+    mix(spec.topology.degree);
+    mix_double(spec.topology.edge_probability);
+    mix_double(spec.topology.radius);
+    mix(spec.topology.rows);
+    mix(spec.topology.cols);
+    mix(spec.topology.seed);
+
+    mix(static_cast<std::uint64_t>(spec.channel.kind));
+    mix_double(spec.channel.epsilon);
+    mix(spec.channel.noise_on_own_beep ? 1 : 0);
+    mix_double(spec.channel.ge_p_enter_burst);
+    mix_double(spec.channel.ge_p_exit_burst);
+    mix_double(spec.channel.ge_epsilon_good);
+    mix_double(spec.channel.ge_epsilon_bad);
+    mix_double(spec.channel.het_epsilon_min);
+    mix_double(spec.channel.het_epsilon_max);
+    mix(spec.channel.het_seed);
+    mix(spec.channel.adv_budget);
+
+    mix(static_cast<std::uint64_t>(spec.transport));
+    mix(spec.workload.message_bits);
+    mix_double(spec.workload.silent_fraction);
+    mix(spec.workload.seed);
+
+    mix(spec.faults.size());
+    for (const auto& window : spec.faults) {
+        mix(window.first_round);
+        mix(window.last_round);
+        mix(window.faults.jammers.size());
+        for (const NodeId v : window.faults.jammers) {
+            mix(v);
+        }
+        mix(window.faults.crashed.size());
+        for (const NodeId v : window.faults.crashed) {
+            mix(v);
+        }
+    }
+
+    mix(spec.rounds);
+    mix_double(spec.decoder_epsilon);
+    mix(spec.c_eps);
+    mix(static_cast<std::uint64_t>(spec.dictionary));
+    mix(spec.decoy_count);
+    mix(spec.bitslice_min_candidates);
+    mix(spec.tdma_repetitions);
+    // spec.threads deliberately not mixed: an execution knob, not an input.
+    return h;
 }
 
 void scenario_result_json(JsonWriter& json, const ScenarioResult& r, bool include_timing) {

@@ -154,6 +154,14 @@ struct ScenarioResult {
 /// are a pure function of the spec.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
 
+/// Order-sensitive digest of every result-determining field of the spec —
+/// the identity the sweep journal keys checkpoint records by. Execution
+/// knobs that cannot change the result (threads) are excluded, so a resumed
+/// sweep may change --workers/threads and still replay its journal; any
+/// edit that could change a job's numbers changes the fingerprint and
+/// invalidates the record (see DESIGN.md section 9).
+std::uint64_t scenario_spec_fingerprint(const ScenarioSpec& spec);
+
 /// Serialize one result as a JSON object. `include_timing` controls the
 /// wall_seconds / rounds_per_second fields — the only nondeterministic ones;
 /// the sweep schema omits them so its artifact is byte-identical for any

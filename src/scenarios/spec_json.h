@@ -1,0 +1,54 @@
+// User-authored sweep specs: the nb-spec/v1 JSON schema `nb_run --spec`
+// loads (see DESIGN.md section 9 and the README quickstart).
+//
+// The registry ships a fixed menu of scenarios; a spec file makes the whole
+// declarative layer reachable without recompiling — any topology family,
+// channel model, fault schedule, workload, and axis set the C++ structs
+// express. Shape:
+//
+//   {
+//     "schema": "nb-spec/v1",
+//     "sweep": "my-sweep",
+//     "max_retries": 2,
+//     "scenarios": [
+//       {"name": "a", "transport": "beep", "rounds": 4,
+//        "topology": {"family": "random_regular", "n": 64, "degree": 8},
+//        "channel": {"kind": "iid", "epsilon": 0.05},
+//        "workload": {"message_bits": 16, "seed": 1},
+//        "faults": [{"first_round": 1, "last_round": 2, "jammers": [0]}]}
+//     ],
+//     "axes": {"seeds": [1, 2, 3], "epsilons": [0.05, 0.1]}
+//   }
+//
+// Every field except "schema", "scenarios", and each scenario's "name" is
+// optional and defaults to the corresponding struct default. Unknown keys
+// are rejected, not ignored: a typo'd "topolgy" silently running the
+// default topology would report numbers for an experiment nobody asked for.
+//
+// Error contract (the "never crashes on bad input" satellite): every
+// malformed input — unreadable file, JSON syntax error, wrong type, unknown
+// enum tag, out-of-range value — surfaces as a precondition_error whose
+// message names the file, the JSON path of the offending field (e.g.
+// "scenarios[2].topology.family"), and the reason. nb_run turns that into
+// one diagnostic line and exit code 2; the golden CLI test pins the format.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "scenarios/sweep.h"
+
+namespace nb {
+
+/// Parse an nb-spec/v1 document. `context` prefixes every diagnostic
+/// (callers pass the file path). Throws precondition_error on any malformed
+/// input; the returned spec is structurally valid but not yet
+/// spec.validate()'d (run_sweep does that, so semantic errors also name
+/// their job).
+SweepSpec sweep_spec_from_json(std::string_view text, const std::string& context);
+
+/// Read `path` and parse it. Throws precondition_error (naming the path) if
+/// the file cannot be read.
+SweepSpec load_sweep_spec(const std::string& path);
+
+}  // namespace nb

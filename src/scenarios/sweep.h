@@ -1,6 +1,6 @@
 // Scenario sweeps: ScenarioSpec templates × axes, expanded to a
 // deterministic job list and executed in parallel with deterministic
-// aggregation (see DESIGN.md section 7).
+// aggregation and per-job failure isolation (see DESIGN.md sections 7, 9).
 //
 // PR 3 made a single "what if" question a ScenarioSpec; the questions worth
 // asking come in families — the same experiment across seeds, channel
@@ -14,16 +14,31 @@
 // merged in job-index order — the aggregate is a pure function of the spec,
 // byte-identical for any worker count.
 //
+// Failure isolation (PR 7): each job runs under its own error boundary, so
+// one throwing job no longer unwinds the sweep. Failures are classified —
+// transient (injected faults, allocation failure, unknown exceptions),
+// timeout (the per-job watchdog deadline), fatal (precondition/invariant
+// violations) — and non-fatal ones retry up to SweepSpec::max_retries.
+// Because run_scenario is a pure function of its spec, a retry re-executes
+// bit-identically: a sweep with injected transient faults that eventually
+// succeeds is byte-identical to a clean run (property-tested). Completed
+// jobs can be journaled (one fsync'd JSONL record each; scenarios/journal.h)
+// and replayed by a resumed sweep, with the same byte-identity guarantee.
+//
 // Jobs run with threads_per_job transport workers (default 1): sweep
 // parallelism comes from running jobs concurrently, not from nesting pools
 // inside pools. Concurrent jobs that agree on codebook build parameters
 // share one build through the process-wide CodebookCache; run_sweep reports
-// the cache-counter delta so benches and tests can pin "strictly fewer
-// builds than jobs".
+// the measured cache-counter delta so benches and tests can pin "strictly
+// fewer builds than jobs", and computes the *analytic* cold-start counters
+// (a pure function of the job list) for the canonical artifact — measured
+// deltas would differ under resume or retries even though every result byte
+// is the same.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +78,11 @@ struct SweepSpec {
     std::vector<ScenarioSpec> bases;   ///< the spec templates (names unique)
     SweepAxes axes;
 
+    /// Extra attempts a job gets after a transient or timeout failure (0 =
+    /// fail on the first error). Fatal failures (precondition/invariant
+    /// violations) never retry — re-running a bug is not resilience.
+    std::size_t max_retries = 0;
+
     /// bases.size() × the product of the non-empty axis lengths.
     std::size_t job_count() const noexcept;
 
@@ -78,31 +98,85 @@ struct SweepSpec {
 struct SweepOptions {
     std::size_t workers = 0;          ///< sweep workers (0 = hardware concurrency)
     std::size_t threads_per_job = 1;  ///< transport threads inside each job
+
+    /// Watchdog deadline per job attempt, in seconds (0 = none). Enforced
+    /// cooperatively: the job's CancelToken passes its deadline and the next
+    /// round-boundary poll unwinds with cancelled_error — classified as a
+    /// timeout, retryable.
+    double job_timeout_seconds = 0.0;
+
+    /// Checkpoint journal path (empty = no journal). One fsync'd record per
+    /// completed job; see scenarios/journal.h.
+    std::string journal_path;
+
+    /// Replay completed jobs from journal_path before running the rest. A
+    /// journal whose sweep fingerprint does not match the expanded spec is
+    /// ignored wholesale; individual records are additionally matched by
+    /// their per-job fingerprints.
+    bool resume = false;
+};
+
+/// Why a job permanently failed (after exhausting its retry budget, or
+/// immediately for fatal errors).
+struct JobError {
+    std::string kind;  ///< "transient" | "timeout" | "fatal"
+    std::string site;  ///< failpoint site for injected faults, else ""
+    std::string what;  ///< the exception message
+};
+
+/// Per-job execution detail. Deliberately *outside* the canonical
+/// nb-sweep/v1 bytes (like the worker count and wall clock): attempt counts
+/// and wall times depend on scheduling and injected faults, and the
+/// artifact must be byte-identical across all of that.
+struct SweepJobRecord {
+    std::size_t attempts = 0;      ///< attempts actually made (resumed: journaled value)
+    double wall_seconds = 0.0;     ///< this run's time on the job (resumed: 0)
+    bool resumed = false;          ///< result replayed from the journal
+    std::optional<JobError> error; ///< set iff the job permanently failed
+};
+
+/// Analytic cold-start cache counters: what a clean run on an empty cache
+/// performs, as a pure function of the job list (distinct codebook keys /
+/// distinct colored graphs). These — not the measured deltas — go into the
+/// canonical artifact, so resume (which skips cache work) and retries
+/// (which repeat it) cannot change the bytes.
+struct SweepCacheAnalysis {
+    std::uint64_t builds = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t coloring_builds = 0;
+    std::uint64_t coloring_hits = 0;
 };
 
 struct SweepResult {
     std::string name;
     std::size_t jobs = 0;
     std::size_t workers = 0;          ///< resolved sweep worker count
-    CodebookCache::Stats cache;       ///< cache-counter delta over this sweep
-    std::vector<ScenarioResult> results;  ///< one per job, in expand() order
+    std::uint64_t fingerprint = 0;    ///< whole-sweep fingerprint (journal header key)
+    CodebookCache::Stats cache;       ///< measured cache-counter delta over this run
+    SweepCacheAnalysis cache_cold;    ///< analytic cold-start counters (canonical)
+    std::vector<ScenarioResult> results;      ///< one per job, in expand() order
+    std::vector<SweepJobRecord> job_records;  ///< parallel to results
+    std::size_t failed_jobs = 0;      ///< jobs with a permanent JobError
+    std::size_t resumed_jobs = 0;     ///< jobs replayed from the journal
     double wall_seconds = 0.0;        ///< whole-sweep wall clock
 };
 
 /// Execute every job of the sweep. Deterministic aggregation: results are
-/// keyed by job index, so everything except wall_seconds (and the cache
-/// delta, if outside threads use the cache concurrently) is a pure function
-/// of the spec. A job that throws aborts the sweep with that exception.
+/// keyed by job index, so everything except wall_seconds, attempt counts,
+/// and the measured cache delta is a pure function of the spec. A job that
+/// throws is isolated, classified, and retried per spec.max_retries; the
+/// sweep always runs to completion and reports failures in job_records
+/// (spec-level validation errors still throw precondition_error up front).
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
 
 /// Serialize in the nb-sweep/v1 schema: {"schema", "sweep", "jobs",
 /// "codebook_cache": {hits, builds, coloring_*}, "results": [...]}.
-/// Timing fields and the worker count are deliberately omitted, and the
-/// cache-counter block degrades to the string "evicted" if the sweep
-/// overflowed the cache (counter values are order-dependent under eviction
-/// pressure; whether pressure occurred is not) — so the artifact is
-/// byte-identical for any worker count, unconditionally (the determinism
-/// suite pins this; see DESIGN.md section 7).
+/// Timing fields, attempt counts, and the worker count are deliberately
+/// omitted, and the cache block is the analytic cold-start one — so the
+/// artifact is byte-identical for any worker count, with or without
+/// injected transient faults, retries, or resume (the determinism suite
+/// pins this; see DESIGN.md sections 7 and 9). A permanently failed job
+/// serializes as {"name", "error": {kind, site}} in its result slot.
 void sweep_results_json(JsonWriter& json, const SweepResult& result);
 
 }  // namespace nb

@@ -5,10 +5,13 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace nb {
 
 namespace {
+
+NB_FAILPOINT_DEFINE(fp_codebook_build, "codebook.build");
 
 /// Pad/flag an optional algorithm message into a transport payload:
 /// bit 0 = presence, bits 1..message_bits = the message (zero-padded).
@@ -32,6 +35,7 @@ Codebook::Codebook(const Graph& graph, const SimulationParams& params)
                          params.distance_code_length(), params.code_seed),
                 DistanceCode(params.payload_bits(), params.distance_code_length(),
                              mix64(params.code_seed ^ 0x64636f64u))) {
+    fp_codebook_build.check();
     params_.validate();
     stats_.code_builds = 1;
 
@@ -69,6 +73,40 @@ Codebook::Codebook(const Graph& graph, const SimulationParams& params)
         }
         shared_entries_.insert(shared_entries_.end(), tail.begin(), tail.end());
     }
+}
+
+std::size_t Codebook::memory_bytes() const {
+    const std::size_t n = graph_.node_count();
+    const std::size_t decoys = params_.decoy_count;
+    const std::size_t entry_count = n + 1 + decoys;
+    const std::size_t beep_bytes = (combined_.length() + 7) / 8;
+    const std::size_t dist_len = params_.distance_code_length();
+    const std::size_t dist_bytes = (dist_len + 7) / 8;
+    const std::size_t payload_bytes = (params_.payload_bits() + 7) / 8;
+
+    std::size_t bytes = sizeof(Codebook);
+    // Candidate entry lists (the only large per-transport state).
+    if (params_.dictionary == DictionaryPolicy::two_hop) {
+        for (const auto& entries : per_node_entries_) {
+            bytes += entries.size() * sizeof(std::uint32_t) + sizeof(entries);
+        }
+    } else {
+        bytes += shared_entries_.size() * sizeof(std::uint32_t);
+    }
+    // One cached Round of derived material. Codewords of C carry exactly
+    // dist_len ones (the combined-code weight contract), which sizes the
+    // one_positions lists.
+    bytes += (n + decoys) * (beep_bytes + dist_len * sizeof(std::size_t));  // codewords + ones
+    bytes += entry_count * (2 * payload_bytes + dist_bytes);  // messages, tails, encodings
+    bytes += n * beep_bytes;                                  // combined_schedules
+    if (params_.dictionary == DictionaryPolicy::all_nodes) {
+        // Bitslice matrix (beep_length planes over n+decoys columns), the
+        // word-major SoA mirror of candidate_encoded, and the decode gaps.
+        bytes += combined_.length() * ((n + decoys + 63) / 64) * sizeof(std::uint64_t);
+        bytes += entry_count * dist_bytes;
+        bytes += entry_count * sizeof(std::uint32_t);
+    }
+    return bytes;
 }
 
 std::span<const std::uint32_t> Codebook::candidate_entries(NodeId v) const {

@@ -133,6 +133,15 @@ public:
     const SimulationParams& params() const noexcept { return params_; }
     const Graph& graph() const noexcept { return graph_; }
 
+    /// Deterministic estimate of this codebook's resident footprint: the
+    /// candidate entry lists plus one cached Round of derived material,
+    /// computed from the code dimensions (codes themselves are procedural —
+    /// seeds and dimensions). An estimate rather than a measurement so the
+    /// CodebookCache's byte-accounted eviction is a pure function of the
+    /// build parameters, independent of allocator and thread interleaving
+    /// (see DESIGN.md section 9).
+    std::size_t memory_bytes() const;
+
     /// Order-sensitive structural digest of everything two transports would
     /// share through this codebook: the code geometry, sampled codewords and
     /// distance-code encodings (pure functions of the code seeds), every

@@ -1,13 +1,23 @@
 #include "sim/codebook_cache.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "graph/algorithms.h"
 
 namespace nb {
 
 namespace {
+
+// Fired after a successful miss-build, before the entry joins the LRU —
+// models an insert that fails once the expensive work is already done (the
+// built codebook must be released cleanly; ASan pins that).
+NB_FAILPOINT_DEFINE(fp_cache_insert, "cache.insert");
+// Fired before each LRU eviction (count- or byte-pressure).
+NB_FAILPOINT_DEFINE(fp_cache_evict, "cache.evict");
 
 /// Exact adjacency equality — the collision-safety check behind every
 /// digest match.
@@ -64,6 +74,10 @@ std::uint64_t CodebookCache::Key::hash() const {
     return h;
 }
 
+std::uint64_t CodebookCache::key_digest(const Graph& graph, const SimulationParams& params) {
+    return make_key(graph, params).hash();
+}
+
 CodebookCache::Key CodebookCache::make_key(const Graph& graph,
                                            const SimulationParams& params) {
     Key key;
@@ -79,8 +93,18 @@ CodebookCache::Key CodebookCache::make_key(const Graph& graph,
     return key;
 }
 
-CodebookCache::CodebookCache(std::size_t shard_count, std::size_t shard_capacity)
+std::size_t SharedCodebook::memory_bytes() const {
+    std::size_t bytes = (graph_.node_count() + 1) * sizeof(std::size_t);  // offsets
+    for (NodeId v = 0; v < graph_.node_count(); ++v) {
+        bytes += graph_.neighbors(v).size() * sizeof(NodeId);
+    }
+    return bytes + codebook_.memory_bytes();
+}
+
+CodebookCache::CodebookCache(std::size_t shard_count, std::size_t shard_capacity,
+                             std::size_t max_bytes)
     : shard_capacity_(std::max<std::size_t>(1, shard_capacity)),
+      shard_byte_cap_(max_bytes / std::max<std::size_t>(1, shard_count)),
       coloring_capacity_(std::max<std::size_t>(1, shard_count * shard_capacity)) {
     shards_.reserve(std::max<std::size_t>(1, shard_count));
     for (std::size_t i = 0; i < std::max<std::size_t>(1, shard_count); ++i) {
@@ -89,7 +113,17 @@ CodebookCache::CodebookCache(std::size_t shard_count, std::size_t shard_capacity
 }
 
 CodebookCache& CodebookCache::instance() {
-    static CodebookCache cache;
+    static CodebookCache cache(8, 8, [] {
+        if (const char* env = std::getenv("NB_CACHE_BYTES")) {
+            char* end = nullptr;
+            const unsigned long long v = std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0') {
+                return static_cast<std::size_t>(v);
+            }
+            std::fprintf(stderr, "nb: ignoring malformed NB_CACHE_BYTES '%s'\n", env);
+        }
+        return default_max_bytes;
+    }());
     return cache;
 }
 
@@ -109,12 +143,36 @@ std::shared_ptr<const SharedCodebook> CodebookCache::acquire(
 
     // Miss: build while holding the shard lock, so a concurrent lookup of
     // the same key waits here and then hits — exactly-once construction.
-    ++shard.builds;
+    // The build counter moves *after* construction: a build that throws
+    // (allocation failure, injected fault) did not produce a cached
+    // codebook, and a retried job must observe the same counters as a
+    // never-failed one.
     auto built = std::make_shared<const SharedCodebook>(graph, canonical_params(params));
-    shard.lru.push_front(Entry{key, built});
+    ++shard.builds;
+
+    const std::size_t entry_bytes = built->memory_bytes();
+    if (shard_byte_cap_ != 0 && entry_bytes > shard_byte_cap_) {
+        // Graceful degradation: one codebook bigger than the shard's whole
+        // byte budget is handed to the caller uncached instead of flushing
+        // the shard (or failing). The caller's shared_ptr keeps it alive.
+        ++shard.oversize_uncached;
+        return built;
+    }
+
+    fp_cache_insert.check();
+    shard.lru.push_front(Entry{key, built, entry_bytes});
+    shard.bytes += entry_bytes;
     while (shard.lru.size() > shard_capacity_) {
+        fp_cache_evict.check();
+        shard.bytes -= shard.lru.back().bytes;
         shard.lru.pop_back();
         ++shard.evictions;
+    }
+    while (shard_byte_cap_ != 0 && shard.bytes > shard_byte_cap_ && shard.lru.size() > 1) {
+        fp_cache_evict.check();
+        shard.bytes -= shard.lru.back().bytes;
+        shard.lru.pop_back();
+        ++shard.evictions_capacity;
     }
     return built;
 }
@@ -151,6 +209,9 @@ CodebookCache::Stats CodebookCache::stats() const {
         total.hits += shard->hits;
         total.builds += shard->builds;
         total.evictions += shard->evictions;
+        total.evictions_capacity += shard->evictions_capacity;
+        total.bytes_resident += shard->bytes;
+        total.oversize_uncached += shard->oversize_uncached;
     }
     std::lock_guard<std::mutex> lock(coloring_mutex_);
     total.coloring_hits = coloring_hits_;
@@ -163,9 +224,12 @@ void CodebookCache::clear() {
     for (auto& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         shard->lru.clear();
+        shard->bytes = 0;
         shard->hits = 0;
         shard->builds = 0;
         shard->evictions = 0;
+        shard->evictions_capacity = 0;
+        shard->oversize_uncached = 0;
     }
     std::lock_guard<std::mutex> lock(coloring_mutex_);
     colorings_.clear();

@@ -57,6 +57,10 @@ public:
     const Codebook& codebook() const noexcept { return codebook_; }
     const Graph& graph() const noexcept { return graph_; }
 
+    /// Deterministic footprint estimate the cache's byte accounting charges
+    /// for this entry: the owned graph copy plus the codebook's estimate.
+    std::size_t memory_bytes() const;
+
 private:
     Graph graph_;
     Codebook codebook_;
@@ -66,8 +70,14 @@ class CodebookCache {
 public:
     /// `shard_capacity` codebooks per shard; least recently used beyond that
     /// are evicted (dropped from the cache — transports holding the
-    /// shared_ptr keep their codebook alive regardless).
-    explicit CodebookCache(std::size_t shard_count = 8, std::size_t shard_capacity = 8);
+    /// shared_ptr keep their codebook alive regardless). `max_bytes` caps the
+    /// total byte-accounted footprint (split evenly across shards; 0 =
+    /// unlimited): under byte pressure the LRU tail is evicted, and a single
+    /// codebook larger than a shard's byte budget is built and returned
+    /// *uncached* rather than failing or flushing the shard. The process-wide
+    /// instance defaults to 1 GiB, overridable via NB_CACHE_BYTES.
+    explicit CodebookCache(std::size_t shard_count = 8, std::size_t shard_capacity = 8,
+                           std::size_t max_bytes = default_max_bytes);
 
     CodebookCache(const CodebookCache&) = delete;
     CodebookCache& operator=(const CodebookCache&) = delete;
@@ -86,9 +96,13 @@ public:
 
     struct Stats {
         std::uint64_t hits = 0;       ///< codebook lookups served from cache
-        std::uint64_t builds = 0;     ///< Codebook constructions (== misses:
-                                      ///< every miss builds, under the lock)
-        std::uint64_t evictions = 0;  ///< codebooks dropped by LRU pressure
+        std::uint64_t builds = 0;     ///< *successful* Codebook constructions
+                                      ///< (== misses that completed; a build
+                                      ///< that throws is not counted)
+        std::uint64_t evictions = 0;  ///< codebooks dropped by count-LRU pressure
+        std::uint64_t evictions_capacity = 0;  ///< codebooks dropped by the byte cap
+        std::uint64_t bytes_resident = 0;      ///< byte-accounted footprint now cached
+        std::uint64_t oversize_uncached = 0;   ///< builds too large to cache at all
         std::uint64_t coloring_hits = 0;
         std::uint64_t coloring_builds = 0;
         std::uint64_t coloring_evictions = 0;
@@ -107,6 +121,11 @@ public:
     /// Order-sensitive digest of the adjacency structure (node count plus
     /// every sorted neighbor list).
     static std::uint64_t graph_digest(const Graph& graph);
+
+    /// Digest of the cache key acquire(graph, params) would use. The sweep
+    /// engine's analytic cold-start cache block counts distinct key digests
+    /// to predict exactly-once builds without touching the cache.
+    static std::uint64_t key_digest(const Graph& graph, const SimulationParams& params);
 
 private:
     struct Key {
@@ -127,14 +146,18 @@ private:
     struct Entry {
         Key key;
         std::shared_ptr<const SharedCodebook> codebook;
+        std::size_t bytes = 0;  ///< memory_bytes() at insert, charged until evicted
     };
 
     struct Shard {
         mutable std::mutex mutex;
         std::list<Entry> lru;  ///< most recently used first
+        std::size_t bytes = 0;  ///< sum of resident entry bytes
         std::uint64_t hits = 0;
         std::uint64_t builds = 0;
         std::uint64_t evictions = 0;
+        std::uint64_t evictions_capacity = 0;
+        std::uint64_t oversize_uncached = 0;
     };
 
     /// A coloring entry keeps its own graph copy for exact hit confirmation.
@@ -146,7 +169,14 @@ private:
 
     static Key make_key(const Graph& graph, const SimulationParams& params);
 
+    /// Process-wide default byte cap (1 GiB); NB_CACHE_BYTES overrides it
+    /// for the instance(). Far above any shipped workload — the cap exists
+    /// so a pathological sweep degrades by evicting instead of growing until
+    /// the OS kills the process.
+    static constexpr std::size_t default_max_bytes = std::size_t{1} << 30;
+
     std::size_t shard_capacity_;
+    std::size_t shard_byte_cap_;  ///< max_bytes / shard_count; 0 = unlimited
     std::vector<std::unique_ptr<Shard>> shards_;
 
     mutable std::mutex coloring_mutex_;

@@ -6,6 +6,7 @@
 #include <future>
 
 #include "beep/batch_engine.h"
+#include "common/cancel.h"
 #include "common/error.h"
 #include "congest/algorithm.h"
 
@@ -187,6 +188,11 @@ void BeepTransport::simulate_rounds_into(std::span<const RoundSpec> specs,
     std::shared_ptr<const Codebook::Round> current = build(specs.front());
     std::future<std::shared_ptr<const Codebook::Round>> next;
     for (std::size_t i = 0; i < specs.size(); ++i) {
+        // Round boundary: a sweep job past its watchdog deadline (or an
+        // explicitly cancelled one) unwinds here rather than finishing the
+        // whole batch. The builder future, if in flight, is joined by its
+        // destructor during unwind, so no task outlives the call.
+        cancel_poll();
         if (pipelined && i + 1 < specs.size()) {
             next = std::async(std::launch::async, build, std::cref(specs[i + 1]));
         }

@@ -1,0 +1,308 @@
+// Resilient-sweep property tests (scenarios/sweep.h + scenarios/journal.h):
+// fault-injected sweeps with retry budgets serialize byte-identically to
+// clean runs at 1 and 8 workers, the watchdog classifies timeouts, the
+// journal checkpoint replays across a simulated crash (including a torn
+// trailing line), and fingerprint mismatches invalidate exactly the records
+// they should (see DESIGN.md section 9).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "scenarios/journal.h"
+#include "scenarios/sweep.h"
+#include "sim/codebook_cache.h"
+
+namespace nb {
+namespace {
+
+using failpoint::Config;
+using failpoint::Mode;
+
+class ResilienceTest : public ::testing::Test {
+protected:
+    void TearDown() override { failpoint::clear_all(); }
+
+    /// A per-test scratch path (gtest's temp dir persists across tests, so
+    /// names carry the test name).
+    std::string scratch(const std::string& leaf) {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        return ::testing::TempDir() + info->name() + "." + leaf;
+    }
+};
+
+ScenarioSpec tiny_base(const std::string& name) {
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.topology.family = TopologySpec::Family::random_regular;
+    spec.topology.n = 16;
+    spec.topology.degree = 4;
+    spec.topology.seed = 7;
+    spec.channel = ChannelModel::iid(0.1);
+    spec.workload.message_bits = 4;
+    spec.workload.seed = 3;
+    spec.rounds = 2;
+    return spec;
+}
+
+SweepSpec tiny_sweep(std::size_t max_retries = 0) {
+    SweepSpec sweep;
+    sweep.name = "resilience";
+    sweep.bases = {tiny_base("a"), tiny_base("b")};
+    sweep.axes.seeds = {1, 2, 3};
+    sweep.max_retries = max_retries;
+    return sweep;
+}
+
+std::string sweep_json(const SweepResult& result) {
+    std::ostringstream out;
+    JsonWriter json(out);
+    sweep_results_json(json, result);
+    return out.str();
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// The headline property: a sweep whose jobs fail transiently (injected
+// faults with a bounded budget) but eventually succeed under retries is
+// byte-identical to a clean run — at 1 worker and at 8. The budget (2) is
+// below the per-job retry budget (3), so success is guaranteed no matter
+// which jobs absorb the fires under either scheduling.
+TEST_F(ResilienceTest, FaultInjectedSweepWithRetriesIsByteIdenticalToClean) {
+    const SweepSpec clean_spec = tiny_sweep();
+    SweepOptions options;
+    options.workers = 1;
+    CodebookCache::instance().clear();
+    const std::string clean = sweep_json(run_sweep(clean_spec, options));
+
+    for (const std::size_t workers : {1u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        Config config;
+        config.mode = Mode::inject_throw;
+        config.max_hits = 2;
+        failpoint::configure("sweep.job", config);
+
+        SweepOptions faulted;
+        faulted.workers = workers;
+        CodebookCache::instance().clear();
+        const SweepResult result = run_sweep(tiny_sweep(/*max_retries=*/3), faulted);
+        failpoint::clear_all();
+
+        EXPECT_EQ(result.failed_jobs, 0u);
+        std::size_t total_attempts = 0;
+        for (const auto& record : result.job_records) {
+            total_attempts += record.attempts;
+        }
+        // Exactly the budgeted fires were absorbed as extra attempts.
+        EXPECT_EQ(total_attempts, result.jobs + 2);
+        EXPECT_EQ(sweep_json(result), clean);
+    }
+}
+
+TEST_F(ResilienceTest, RetryBudgetExhaustionReportsTransientFailure) {
+    // Unlimited fires, one retry: every job must permanently fail, the sweep
+    // must still complete, and the artifact must carry error entries.
+    Config config;
+    config.mode = Mode::inject_throw;
+    failpoint::configure("sweep.job", config);
+
+    SweepOptions options;
+    options.workers = 2;
+    const SweepResult result = run_sweep(tiny_sweep(/*max_retries=*/1), options);
+    failpoint::clear_all();
+
+    EXPECT_EQ(result.failed_jobs, result.jobs);
+    for (const auto& record : result.job_records) {
+        ASSERT_TRUE(record.error.has_value());
+        EXPECT_EQ(record.error->kind, "transient");
+        EXPECT_EQ(record.error->site, "sweep.job");
+        EXPECT_EQ(record.attempts, 2u);
+    }
+    const std::string json = sweep_json(result);
+    EXPECT_NE(json.find("\"error\""), std::string::npos);
+    EXPECT_NE(json.find("\"transient\""), std::string::npos);
+}
+
+TEST_F(ResilienceTest, WatchdogDeadlineClassifiesAsTimeout) {
+    SweepOptions options;
+    options.workers = 2;
+    options.job_timeout_seconds = 1e-9;  // expires before the first round poll
+    const SweepResult result = run_sweep(tiny_sweep(), options);
+
+    EXPECT_EQ(result.failed_jobs, result.jobs);
+    for (const auto& record : result.job_records) {
+        ASSERT_TRUE(record.error.has_value());
+        EXPECT_EQ(record.error->kind, "timeout");
+    }
+}
+
+TEST_F(ResilienceTest, JournalCheckpointThenResumeIsByteIdentical) {
+    const std::string journal_path = scratch("journal.jsonl");
+    const SweepSpec sweep = tiny_sweep();
+
+    SweepOptions options;
+    options.workers = 1;
+    options.journal_path = journal_path;
+    CodebookCache::instance().clear();
+    const SweepResult full = run_sweep(sweep, options);
+    const std::string clean = sweep_json(full);
+
+    // Simulate a crash after 3 completed jobs plus a torn half-record (what
+    // SIGKILL mid-append leaves): keep the header + 3 records, append junk.
+    const JournalContents contents = read_journal(journal_path);
+    ASSERT_TRUE(contents.header_ok);
+    ASSERT_EQ(contents.records.size(), full.jobs);
+    {
+        const std::string text = read_file(journal_path);
+        std::size_t pos = 0;
+        for (int lines = 0; lines < 4; ++lines) {  // header + 3 records
+            pos = text.find('\n', pos) + 1;
+        }
+        std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+        out << text.substr(0, pos) << "{\"job\": 3, \"finge";  // torn tail
+    }
+
+    SweepOptions resume_options = options;
+    resume_options.resume = true;
+    CodebookCache::instance().clear();
+    const SweepResult resumed = run_sweep(sweep, resume_options);
+
+    EXPECT_EQ(resumed.resumed_jobs, 3u);
+    EXPECT_EQ(resumed.failed_jobs, 0u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(resumed.job_records[i].resumed);
+    }
+    EXPECT_EQ(sweep_json(resumed), clean);
+
+    // The resumed run appended the re-run jobs: the journal is whole again
+    // (and replayable in full — the torn line was overwritten by appends or
+    // tolerated by the reader).
+    const JournalContents after = read_journal(journal_path);
+    EXPECT_TRUE(after.header_ok);
+    std::vector<bool> seen(full.jobs, false);
+    for (const auto& record : after.records) {
+        ASSERT_LT(record.job, seen.size());
+        seen[record.job] = true;
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_TRUE(seen[i]) << "job " << i << " missing from the healed journal";
+    }
+}
+
+TEST_F(ResilienceTest, SpecEditInvalidatesTheJournalWholesale) {
+    const std::string journal_path = scratch("journal.jsonl");
+    SweepOptions options;
+    options.workers = 2;
+    options.journal_path = journal_path;
+    run_sweep(tiny_sweep(), options);
+
+    // Any result-affecting edit (rounds here) changes every job fingerprint
+    // and therefore the sweep fingerprint: resume must ignore the journal
+    // and recompute everything rather than replay stale numbers.
+    SweepSpec edited = tiny_sweep();
+    edited.bases[0].rounds = 3;
+    edited.bases[1].rounds = 3;
+    SweepOptions resume_options = options;
+    resume_options.resume = true;
+    const SweepResult result = run_sweep(edited, resume_options);
+    EXPECT_EQ(result.resumed_jobs, 0u);
+    EXPECT_EQ(result.failed_jobs, 0u);
+
+    // And the journal was rewritten for the edited sweep.
+    const JournalContents contents = read_journal(journal_path);
+    ASSERT_TRUE(contents.header_ok);
+    EXPECT_EQ(contents.fingerprint, result.fingerprint);
+    EXPECT_EQ(contents.records.size(), result.jobs);
+}
+
+TEST_F(ResilienceTest, ThreadsAreExcludedFromTheFingerprint) {
+    // threads_per_job is an execution knob: a resumed sweep may change it
+    // (or --workers) and still replay its journal.
+    const std::string journal_path = scratch("journal.jsonl");
+    SweepOptions options;
+    options.workers = 2;
+    options.threads_per_job = 1;
+    options.journal_path = journal_path;
+    const SweepResult first = run_sweep(tiny_sweep(), options);
+
+    SweepOptions resumed_options = options;
+    resumed_options.workers = 1;
+    resumed_options.threads_per_job = 2;
+    resumed_options.resume = true;
+    const SweepResult resumed = run_sweep(tiny_sweep(), resumed_options);
+    EXPECT_EQ(resumed.fingerprint, first.fingerprint);
+    EXPECT_EQ(resumed.resumed_jobs, first.jobs);
+}
+
+TEST_F(ResilienceTest, JournalReaderToleratesCorruptInteriorAndBadHeader) {
+    const std::string path = scratch("tolerant.jsonl");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << R"({"schema": "nb-sweep-journal/v1","sweep": "t","fingerprint": 1,"jobs": 2})"
+            << "\n"
+            << "this line is not JSON\n"
+            << R"({"job": 1,"fingerprint": 5,"attempts": 2,"result": )"
+            << R"({"name": "x","description": "","topology": "t","channel": "c",)"
+            << R"("transport": "beep","n": 4,"delta": 2,"rounds": 1,"perfect_rounds": 1,)"
+            << R"("perfect_fraction": 1,"beep_rounds_per_round": 8,"total_beeps": 9,)"
+            << R"("phase1_false_negatives": 0,"phase1_false_positives": 0,)"
+            << R"("phase2_errors": 0,"delivery_mismatches": 0}})"
+            << "\n";
+    }
+    const JournalContents contents = read_journal(path);
+    EXPECT_TRUE(contents.header_ok);
+    EXPECT_EQ(contents.fingerprint, 1u);
+    ASSERT_EQ(contents.records.size(), 1u);  // corrupt interior line skipped
+    EXPECT_EQ(contents.records[0].job, 1u);
+    EXPECT_EQ(contents.records[0].attempts, 2u);
+    EXPECT_EQ(contents.records[0].result.total_beeps, 9u);
+
+    // An unusable header poisons the whole file.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << R"({"schema": "something-else/v9"})" << "\n";
+    }
+    EXPECT_FALSE(read_journal(path).header_ok);
+
+    // A missing file is simply "nothing to resume".
+    std::remove(path.c_str());
+    EXPECT_FALSE(read_journal(path).header_ok);
+}
+
+TEST_F(ResilienceTest, JournalDisablesItselfOnWriteFailureWithoutLosingTheSweep) {
+    // Open against a path whose parent vanishes before the first append:
+    // the journal warns, disables, and the sweep still completes.
+    SweepJournal journal;
+    const std::string path = scratch("doomed.jsonl");
+    journal.open(path, "t", 1, 1, /*append=*/false);
+    EXPECT_TRUE(journal.is_open());
+    std::remove(path.c_str());
+    // fsync still succeeds on the open descriptor, so this tests the no-op
+    // close path instead when removal doesn't break the write; either way
+    // append must not throw.
+    JournalRecord record;
+    record.job = 0;
+    record.fingerprint = 2;
+    record.result.name = "x";
+    EXPECT_NO_THROW(journal.append(record));
+    journal.close();
+    EXPECT_NO_THROW(journal.append(record));  // closed: silent no-op
+}
+
+TEST_F(ResilienceTest, OpenFailureIsAPreconditionError) {
+    SweepJournal journal;
+    EXPECT_THROW(journal.open("/nonexistent-dir/x/journal.jsonl", "t", 1, 1, false),
+                 precondition_error);
+}
+
+}  // namespace
+}  // namespace nb

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 
@@ -116,6 +118,92 @@ TEST(ThreadPoolStress, ConcurrentExternalCallersSerializeThenShutdownCleanly) {
         }
     }
     EXPECT_EQ(total.load(), kCallers * kJobsPerCaller * kIndices);
+}
+
+TEST(ThreadPoolStress, CancelledParallelForThrowsAndLeavesPoolReusable) {
+    ThreadPool pool(4);
+    CancelToken token;
+    std::atomic<std::size_t> started{0};
+
+    // Cancel from inside an early index: the token overload checks before
+    // every chunk claim, so the fan-out stops within one chunk per worker
+    // and the wave's cancelled_error reaches the caller.
+    EXPECT_THROW(pool.parallel_for(
+                     10000,
+                     [&](std::size_t, std::size_t) {
+                         if (started.fetch_add(1, std::memory_order_relaxed) == 0) {
+                             token.cancel();
+                         }
+                     },
+                     &token),
+                 cancelled_error);
+    EXPECT_LT(started.load(), 10000u);
+
+    // The cancelled wave must not wedge the pool: a plain parallel_for and a
+    // token run with a fresh (unarmed) token both complete in full.
+    std::atomic<std::size_t> completed{0};
+    pool.parallel_for(256, [&](std::size_t, std::size_t) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(completed.load(), 256u);
+
+    token.reset();
+    completed.store(0);
+    pool.parallel_for(
+        256, [&](std::size_t, std::size_t) { completed.fetch_add(1, std::memory_order_relaxed); },
+        &token);
+    EXPECT_EQ(completed.load(), 256u);
+}
+
+TEST(ThreadPoolStress, AlreadyCancelledTokenStopsBeforeAnyIndexRuns) {
+    ThreadPool pool(2);
+    CancelToken token;
+    token.cancel();
+    std::atomic<std::size_t> ran{0};
+    EXPECT_THROW(pool.parallel_for(
+                     64, [&](std::size_t, std::size_t) { ran.fetch_add(1); }, &token),
+                 cancelled_error);
+    EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ThreadPoolStress, PastDeadlineTokenCancelsLikeAnExplicitCancel) {
+    // The watchdog shape: no one calls cancel(); the deadline alone flips
+    // cancelled() and the next chunk claim throws.
+    ThreadPool pool(2);
+    CancelToken token;
+    token.set_timeout(std::chrono::nanoseconds(1));
+    EXPECT_THROW(pool.parallel_for(
+                     64, [](std::size_t, std::size_t) {}, &token),
+                 cancelled_error);
+
+    // reset() disarms the deadline too — the sweep engine reuses one token
+    // per job slot across retries.
+    token.reset();
+    std::atomic<std::size_t> completed{0};
+    pool.parallel_for(
+        64, [&](std::size_t, std::size_t) { completed.fetch_add(1); }, &token);
+    EXPECT_EQ(completed.load(), 64u);
+}
+
+TEST(ThreadPoolStress, CancelPollReadsTheScopedToken) {
+    // cancel_poll() is how deep callees (the transports' round loops) see
+    // the job token without signature plumbing: installed via CancelScope,
+    // thread-local, nestable, restored on exit.
+    EXPECT_NO_THROW(cancel_poll());  // no scope installed: no-op
+
+    CancelToken token;
+    {
+        CancelScope scope(&token);
+        EXPECT_NO_THROW(cancel_poll());
+        token.cancel();
+        EXPECT_THROW(cancel_poll(), cancelled_error);
+        {
+            CancelScope inner(nullptr);  // shadow: callee opted out
+            EXPECT_NO_THROW(cancel_poll());
+        }
+        EXPECT_THROW(cancel_poll(), cancelled_error);  // restored on exit
+    }
+    EXPECT_NO_THROW(cancel_poll());  // scope gone
 }
 
 TEST(ThreadPoolStress, SingleWorkerPoolRunsEverythingInline) {
