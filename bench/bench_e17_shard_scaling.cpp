@@ -1,0 +1,124 @@
+// E17 — sharded-transport scaling: batched simulated rounds per second at
+// n = 65536 on a ring, through ShardedTransport at 1, 2, and 4 shards with
+// a 4-thread pool. One shard runs the whole round on one worker (the
+// sharded pool sizes itself to min(threads, shards)), so the 1→4 ratio
+// isolates what partitioned round-build + decode actually buys; the gate
+// (check_perf_regression.py --shard) requires >= 2x when the machine has
+// at least 4 cores and only sanity-checks the rates elsewhere — the JSON
+// records hardware_concurrency so the gate can tell which case it is in.
+//
+// The workload mirrors the demo-shard-* registry specs: a ring keeps the
+// max degree (and so the beep-code length) constant while n drives the
+// interior-decode work, the regime sharding is built for. Determinism is
+// not re-proven here — the sharding goldens in test_sharded_transport.cpp
+// pin bit-identity; this bench only measures wall-clock.
+#include <chrono>
+#include <iostream>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "sim/sharded_transport.h"
+
+namespace {
+
+using namespace nb;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct Measurement {
+    std::size_t shards = 0;
+    std::size_t beep_rounds = 0;
+    double batched_rounds_per_s = 0.0;
+};
+
+Measurement measure(const Graph& graph, std::size_t shards, std::size_t rounds) {
+    SimulationParams params;
+    params.epsilon = 0.05;
+    params.message_bits = 2;
+    params.c_eps = 4;
+    params.decoy_count = 8;
+    params.threads = 4;
+    const ShardedTransport transport(graph, params, shards);
+
+    Rng message_rng(0xe17);
+    std::vector<std::optional<Bitstring>> messages(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        messages[v] = Bitstring::random(message_rng, params.message_bits);
+    }
+
+    std::vector<RoundSpec> specs;
+    specs.reserve(rounds);
+    for (std::uint64_t nonce = 0; nonce < rounds; ++nonce) {
+        specs.push_back(RoundSpec{&messages, nonce, nullptr});
+    }
+
+    TransportBatch batch;
+    transport.simulate_rounds_into(specs, batch);  // warm codebook + arenas
+
+    Measurement m;
+    m.shards = shards;
+    m.beep_rounds = transport.rounds_per_broadcast_round();
+    const auto start = std::chrono::steady_clock::now();
+    transport.simulate_rounds_into(specs, batch);
+    m.batched_rounds_per_s = static_cast<double>(rounds) / seconds_since(start);
+    return m;
+}
+
+}  // namespace
+
+int main() {
+    using namespace nb;
+    bench::header("E17", "sharded transport scaling at n=65536",
+                  "implementation bench (no paper claim): batched rounds per "
+                  "second on a ring through ShardedTransport at 1/2/4 shards, "
+                  "4-thread pool");
+
+    const Graph graph = make_ring(65536);
+    const std::size_t cores = std::thread::hardware_concurrency();
+
+    std::vector<Measurement> measurements;
+    for (const std::size_t shards : {1, 2, 4}) {
+        measurements.push_back(measure(graph, shards, /*rounds=*/4));
+    }
+
+    const double base = measurements.front().batched_rounds_per_s;
+    Table table({"shards", "beep rounds", "batched (rounds/s)", "speedup vs 1"});
+    for (const auto& m : measurements) {
+        table.add_row({Table::num(m.shards), Table::num(m.beep_rounds),
+                       Table::num(m.batched_rounds_per_s, 2),
+                       Table::num(m.batched_rounds_per_s / base, 2)});
+    }
+    table.print(std::cout, "ShardedTransport::simulate_rounds_into, ring n=65536");
+    std::cout << "hardware_concurrency: " << cores << "\n\n";
+
+    bench::write_json_file("BENCH_shard.json", [&](JsonWriter& json) {
+        json.begin_object();
+        json.kv("bench", "shard_scaling");
+        json.kv("n", std::size_t{65536});
+        json.kv("topology", "ring");
+        json.kv("message_bits", std::size_t{2});
+        json.kv("threads", std::size_t{4});
+        json.kv("hardware_concurrency", cores);
+        json.key("results").begin_array();
+        for (const auto& m : measurements) {
+            json.begin_object();
+            json.kv("shards", m.shards);
+            json.kv("beep_rounds_per_round", m.beep_rounds);
+            json.kv("batched_rounds_per_s", m.batched_rounds_per_s);
+            json.end_object();
+        }
+        json.end_array();
+        json.end_object();
+    });
+
+    bench::verdict(
+        "throughput scales with the shard count on multi-core hardware; the "
+        "1->4 shard ratio is gated at >= 2x by check_perf_regression.py "
+        "--shard when hardware_concurrency >= 4");
+    return 0;
+}

@@ -17,7 +17,16 @@ Configurations present in only one of the two files (e.g. no AVX-512 on the
 runner) are skipped with a note. Steady-state allocation counts are an exact
 gate: the zero-copy contract does not degrade gracefully.
 
+A second, self-contained mode gates the sharded transport's scaling claim:
+`--shard BENCH_shard.json` checks that batched throughput at 4 shards is at
+least --shard-speedup (default 2.0) times the 1-shard rate. That ratio only
+means anything when the machine can actually run 4 workers, so the gate
+applies the threshold when the recorded hardware_concurrency is >= 4 and
+otherwise just sanity-checks that every rate is positive — same-machine
+self-comparison, so no baseline file and no normalization anchor needed.
+
 Usage: check_perf_regression.py CURRENT BASELINE [--threshold 0.30]
+       check_perf_regression.py --shard BENCH_shard.json [--shard-speedup 2.0]
 Exit status 0 = pass, 1 = regression or malformed input.
 """
 
@@ -70,14 +79,67 @@ def reference_rate(results, path):
     return rate
 
 
+def check_shard_scaling(path, min_speedup):
+    """The BENCH_shard.json gate: 4-shard batched throughput >= min_speedup
+    times the 1-shard rate, enforced only where 4 workers can actually run
+    in parallel."""
+    doc = load_doc(path)
+    rates = {}
+    for row in doc.get("results", []):
+        rate = float(row["batched_rounds_per_s"])
+        if rate <= 0:
+            print(f"check_perf_regression: {path}: non-positive rate at "
+                  f"shards={row['shards']}", file=sys.stderr)
+            return 1
+        rates[int(row["shards"])] = rate
+    for shards in (1, 4):
+        if shards not in rates:
+            print(f"check_perf_regression: {path}: missing shards={shards} row",
+                  file=sys.stderr)
+            return 1
+
+    cores = int(doc.get("hardware_concurrency", 0))
+    speedup = rates[4] / rates[1]
+    for shards in sorted(rates):
+        print(f"  shards={shards} batched {rates[shards]:10.2f} rounds/s "
+              f"({rates[shards] / rates[1]:.2f}x vs 1 shard)")
+    if cores < 4:
+        print(f"check_perf_regression: hardware_concurrency={cores} < 4; "
+              f"scaling threshold not applicable, rates sane")
+        return 0
+    if speedup < min_speedup:
+        print(f"check_perf_regression: 1->4 shard speedup {speedup:.2f}x "
+              f"below required {min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    print(f"check_perf_regression: 1->4 shard speedup {speedup:.2f}x "
+          f"(required {min_speedup:.2f}x)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="BENCH_transport.json from this build")
-    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("current", nargs="?",
+                        help="BENCH_transport.json from this build")
+    parser.add_argument("baseline", nargs="?", help="checked-in baseline JSON")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional drop in normalized batched "
                              "rounds/s (default 0.30)")
+    parser.add_argument("--shard", metavar="BENCH_shard.json",
+                        help="gate sharded-transport scaling instead of the "
+                             "transport baseline comparison")
+    parser.add_argument("--shard-speedup", type=float, default=2.0,
+                        help="required 1->4 shard throughput ratio when the "
+                             "machine has >= 4 cores (default 2.0)")
     args = parser.parse_args()
+
+    if args.shard is not None:
+        try:
+            return check_shard_scaling(args.shard, args.shard_speedup)
+        except (OSError, KeyError, ValueError) as err:
+            print(f"check_perf_regression: {err}", file=sys.stderr)
+            return 1
+    if args.current is None or args.baseline is None:
+        parser.error("CURRENT and BASELINE are required without --shard")
 
     try:
         current_doc = load_doc(args.current)

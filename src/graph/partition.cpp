@@ -1,0 +1,143 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace nb {
+
+namespace {
+
+/// Sorted position of global id `v` in `ids`. Precondition: v is present.
+std::uint32_t local_index(const std::vector<std::uint32_t>& ids, NodeId v) {
+    const auto it = std::lower_bound(ids.begin(), ids.end(), v);
+    return static_cast<std::uint32_t>(it - ids.begin());
+}
+
+}  // namespace
+
+std::uint32_t ShardPlan::owner(NodeId v) const {
+    require(v < node_count, "ShardPlan::owner: node out of range");
+    const auto it = std::upper_bound(owner_start.begin(), owner_start.end(), v);
+    return static_cast<std::uint32_t>(it - owner_start.begin()) - 1;
+}
+
+ShardPlan make_shard_plan(const Graph& graph, std::size_t shard_count) {
+    const std::size_t n = graph.node_count();
+    const std::size_t k = std::max<std::size_t>(1, std::min(shard_count, std::max<std::size_t>(1, n)));
+
+    ShardPlan plan;
+    plan.node_count = n;
+    plan.shards.resize(k);
+    plan.owner_start.resize(k + 1);
+    for (std::size_t s = 0; s <= k; ++s) {
+        plan.owner_start[s] = static_cast<NodeId>(s * n / k);
+    }
+
+    // Per-shard closures and induced subgraphs. `mark` distinguishes the
+    // membership rings of the shard under construction (reset via `touched`
+    // between shards, so the pass is O(sum of closure sizes), not O(n*k)).
+    enum class Ring : unsigned char { none, owned, halo1, halo2 };
+    std::vector<Ring> mark(n, Ring::none);
+    std::vector<NodeId> touched;
+    for (std::size_t s = 0; s < k; ++s) {
+        ShardPlan::Shard& shard = plan.shards[s];
+        const NodeId lo = plan.owner_start[s];
+        const NodeId hi = plan.owner_start[s + 1];
+        shard.owned_first = lo;
+        shard.owned_count = hi - lo;
+
+        touched.clear();
+        for (NodeId v = lo; v < hi; ++v) {
+            mark[v] = Ring::owned;
+            touched.push_back(v);
+        }
+        for (NodeId v = lo; v < hi; ++v) {
+            for (const auto u : graph.neighbors(v)) {
+                if (mark[u] == Ring::none) {
+                    mark[u] = Ring::halo1;
+                    touched.push_back(u);
+                }
+            }
+        }
+        // Two-hop halo: neighbors of the one-hop halo. (Neighbors of owned
+        // nodes are already owned or halo1.)
+        const std::size_t ring1_end = touched.size();
+        for (std::size_t i = shard.owned_count; i < ring1_end; ++i) {
+            for (const auto u : graph.neighbors(touched[i])) {
+                if (mark[u] == Ring::none) {
+                    mark[u] = Ring::halo2;
+                    touched.push_back(u);
+                }
+            }
+        }
+
+        shard.local_to_global.assign(touched.begin(), touched.end());
+        std::sort(shard.local_to_global.begin(), shard.local_to_global.end());
+        shard.owned_begin = local_index(shard.local_to_global, lo);
+
+        // Induced edges with at least one endpoint in owned + halo1: those
+        // endpoints' full neighborhoods lie inside the closure, so their
+        // local adjacency is exact. An owned/halo1 pair is seen from both
+        // sides (keep u < w once); a halo2 endpoint only from its inner side.
+        std::vector<Edge> edges;
+        for (const auto u : shard.local_to_global) {
+            if (mark[u] != Ring::owned && mark[u] != Ring::halo1) {
+                continue;
+            }
+            const std::uint32_t lu = local_index(shard.local_to_global, u);
+            for (const auto w : graph.neighbors(u)) {
+                const bool w_inner = mark[w] == Ring::owned || mark[w] == Ring::halo1;
+                if (w_inner && w < u) {
+                    continue;  // counted from w's side
+                }
+                edges.push_back(Edge{lu, local_index(shard.local_to_global, w)});
+            }
+        }
+        shard.local = Graph::from_edges(shard.local_to_global.size(), edges);
+
+        for (const auto v : touched) {
+            mark[v] = Ring::none;
+        }
+    }
+
+    // Boundary exchange: a node is exported iff it sits in another shard's
+    // halo. Export rows are ordered by global id, so every shard derives the
+    // same row numbering independently.
+    std::vector<std::vector<std::uint32_t>> exported(k);  // global ids, per owner
+    for (std::size_t s = 0; s < k; ++s) {
+        const ShardPlan::Shard& shard = plan.shards[s];
+        for (const auto g : shard.local_to_global) {
+            if (g < shard.owned_first ||
+                g >= shard.owned_first + shard.owned_count) {
+                exported[plan.owner(g)].push_back(g);
+            }
+        }
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+        auto& ids = exported[s];
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        ShardPlan::Shard& shard = plan.shards[s];
+        shard.exports.reserve(ids.size());
+        for (const auto g : ids) {
+            shard.exports.push_back(local_index(shard.local_to_global, g));
+        }
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+        ShardPlan::Shard& shard = plan.shards[s];
+        for (std::uint32_t local = 0;
+             local < static_cast<std::uint32_t>(shard.local_to_global.size()); ++local) {
+            const NodeId g = shard.local_to_global[local];
+            if (g >= shard.owned_first && g < shard.owned_first + shard.owned_count) {
+                continue;
+            }
+            const std::uint32_t owner = plan.owner(g);
+            shard.imports.push_back(ShardPlan::Import{
+                local, owner, local_index(exported[owner], g)});
+        }
+    }
+    return plan;
+}
+
+}  // namespace nb

@@ -1,0 +1,68 @@
+// Contiguous-range graph partitioning for the sharded transport.
+//
+// A ShardPlan splits the node ids [0, n) into k contiguous owned ranges and
+// derives, per shard, everything the sharded transport needs to decode its
+// owned nodes without touching any other shard's subgraph:
+//
+//   * the *closure* — owned nodes plus their one- and two-hop halos — as a
+//     sorted local-to-global id map (owned ids form one contiguous local
+//     run, so "is local index v owned" is a range test);
+//   * the induced local Graph over the closure, restricted to edges with at
+//     least one endpoint in owned + one-hop halo. That restriction keeps
+//     every owned and one-hop node's local adjacency *exactly* equal to its
+//     global adjacency (their neighborhoods are inside the closure by
+//     construction), which makes the local two-hop candidate set of every
+//     owned node identical to the global one — the exactness argument the
+//     sharded transport's bit-identity rests on (DESIGN.md section 10);
+//   * the boundary exchange lists: `exports` (owned locals some other
+//     shard's closure needs, in sorted global order — the shard's rows of
+//     the boundary table) and `imports` (every halo local, with the owning
+//     shard and that owner's export row to read).
+//
+// The plan is a pure function of (graph, shard_count): no RNG, no
+// dependence on worker counts, so any two runs agree on every row index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nb {
+
+struct ShardPlan {
+    /// A halo local's row in the one-writer boundary table.
+    struct Import {
+        std::uint32_t local = 0;      ///< local index in this shard's closure
+        std::uint32_t src_shard = 0;  ///< shard owning the node
+        std::uint32_t src_row = 0;    ///< row in that shard's export block
+    };
+
+    struct Shard {
+        NodeId owned_first = 0;            ///< first owned global id
+        std::uint32_t owned_count = 0;     ///< owned ids are [owned_first, +count)
+        std::uint32_t owned_begin = 0;     ///< local index of owned_first
+        std::vector<std::uint32_t> local_to_global;  ///< sorted closure
+        Graph local;                       ///< induced subgraph over the closure
+        std::vector<std::uint32_t> exports;  ///< owned locals, sorted, one table row each
+        std::vector<Import> imports;         ///< all halo locals, sorted by local index
+    };
+
+    std::size_t node_count = 0;
+    std::vector<Shard> shards;
+    /// owner_start[s] = first global id shard s owns (size shards.size()+1,
+    /// last element = node_count); owner lookup is an upper_bound.
+    std::vector<NodeId> owner_start;
+
+    std::size_t shard_count() const noexcept { return shards.size(); }
+
+    /// The shard owning global id v. Precondition: v < node_count.
+    std::uint32_t owner(NodeId v) const;
+};
+
+/// Partition `graph` into min(shard_count, max(1, n)) contiguous shards of
+/// near-equal size (shard s owns [floor(s*n/k), floor((s+1)*n/k))).
+ShardPlan make_shard_plan(const Graph& graph, std::size_t shard_count);
+
+}  // namespace nb

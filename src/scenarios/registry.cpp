@@ -160,6 +160,50 @@ const std::vector<ScenarioSpec>& shipped_scenarios() {
     return specs;
 }
 
+const std::vector<ScenarioSpec>& demo_scenarios() {
+    static const std::vector<ScenarioSpec> specs = [] {
+        std::vector<ScenarioSpec> all;
+        // Ring topologies keep the scale demos honest but cheap: max degree 2
+        // means the beep-code length stays small while n drives the work, and
+        // the shard halos are two nodes per boundary, so almost all of the
+        // round is interior decode — the regime sharding is built for.
+        {
+            ScenarioSpec spec;
+            spec.name = "demo-shard-100k";
+            spec.description = "sharded-transport scale demo: ring n=10^5, "
+                               "8 shards, 2 rounds";
+            spec.topology.family = TopologySpec::Family::ring;
+            spec.topology.n = 100000;
+            spec.channel = ChannelModel::iid(0.05);
+            spec.workload.message_bits = 2;
+            spec.workload.seed = 100;
+            spec.rounds = 2;
+            spec.c_eps = 4;
+            spec.decoy_count = 8;
+            spec.shards = 8;
+            all.push_back(std::move(spec));
+        }
+        {
+            ScenarioSpec spec;
+            spec.name = "demo-shard-1m";
+            spec.description = "sharded-transport scale demo: ring n=10^6, "
+                               "16 shards, 1 round";
+            spec.topology.family = TopologySpec::Family::ring;
+            spec.topology.n = 1000000;
+            spec.channel = ChannelModel::iid(0.05);
+            spec.workload.message_bits = 2;
+            spec.workload.seed = 1000;
+            spec.rounds = 1;
+            spec.c_eps = 4;
+            spec.decoy_count = 8;
+            spec.shards = 16;
+            all.push_back(std::move(spec));
+        }
+        return all;
+    }();
+    return specs;
+}
+
 SweepSpec shipped_sweep(std::vector<std::uint64_t> seeds) {
     SweepSpec sweep;
     sweep.name = "shipped-x-seeds";
@@ -170,6 +214,11 @@ SweepSpec shipped_sweep(std::vector<std::uint64_t> seeds) {
 
 const ScenarioSpec* find_scenario(std::string_view name) {
     for (const auto& spec : shipped_scenarios()) {
+        if (spec.name == name) {
+            return &spec;
+        }
+    }
+    for (const auto& spec : demo_scenarios()) {
         if (spec.name == name) {
             return &spec;
         }

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "graph/generators.h"
+#include "sim/sharded_transport.h"
 
 namespace nb {
 
@@ -161,6 +162,7 @@ TdmaParams ScenarioSpec::tdma_params(std::size_t node_count) const {
 void ScenarioSpec::validate() const {
     require(!name.empty(), "ScenarioSpec: name must not be empty");
     require(rounds >= 1, "ScenarioSpec: at least one round required");
+    require(shards >= 1, "ScenarioSpec: at least one shard required");
     channel.validate();
     for (const auto& window : faults) {
         require(window.first_round <= window.last_round,
@@ -199,7 +201,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
     std::unique_ptr<Transport> transport;
     if (spec.transport == TransportKind::beep) {
-        transport = std::make_unique<BeepTransport>(graph, spec.sim_params());
+        if (spec.shards > 1) {
+            transport = std::make_unique<ShardedTransport>(graph, spec.sim_params(),
+                                                           spec.shards);
+        } else {
+            transport = std::make_unique<BeepTransport>(graph, spec.sim_params());
+        }
     } else {
         transport = std::make_unique<TdmaTransport>(graph, spec.tdma_params(graph.node_count()));
     }
@@ -315,7 +322,9 @@ std::uint64_t scenario_spec_fingerprint(const ScenarioSpec& spec) {
     mix(spec.decoy_count);
     mix(spec.bitslice_min_candidates);
     mix(spec.tdma_repetitions);
-    // spec.threads deliberately not mixed: an execution knob, not an input.
+    // spec.threads and spec.shards deliberately not mixed: execution knobs,
+    // not inputs — outputs are bit-identical for every value, so a resumed
+    // sweep may change either and still replay its journal.
     return h;
 }
 

@@ -28,15 +28,48 @@ Bitstring make_payload(const std::optional<Bitstring>& message, std::size_t mess
 
 }  // namespace
 
+std::uint64_t Codebook::ShardView::digest() const {
+    std::uint64_t h = 0x73686172645f7677ULL;
+    auto mix = [&h](std::uint64_t value) { h = mix64(h ^ value); };
+    mix(global_node_count);
+    mix(global_max_degree);
+    mix(owned_begin);
+    mix(owned_count);
+    mix(global_ids.size());
+    for (const auto id : global_ids) {
+        mix(id);
+    }
+    return h;
+}
+
 Codebook::Codebook(const Graph& graph, const SimulationParams& params)
+    : Codebook(graph, params, std::nullopt) {}
+
+Codebook::Codebook(const Graph& graph, const SimulationParams& params, ShardView view)
+    : Codebook(graph, params, std::optional<ShardView>(std::move(view))) {}
+
+Codebook::Codebook(const Graph& graph, const SimulationParams& params,
+                   std::optional<ShardView> view)
     : graph_(graph),
       params_(params),
-      combined_(BeepCode(params.beep_code_length(graph.max_degree()),
+      view_(std::move(view)),
+      combined_(BeepCode(params.beep_code_length(
+                             view_.has_value()
+                                 ? static_cast<std::size_t>(view_->global_max_degree)
+                                 : graph.max_degree()),
                          params.distance_code_length(), params.code_seed),
                 DistanceCode(params.payload_bits(), params.distance_code_length(),
                              mix64(params.code_seed ^ 0x64636f64u))) {
     fp_codebook_build.check();
     params_.validate();
+    if (view_.has_value()) {
+        require(params_.dictionary == DictionaryPolicy::two_hop,
+                "Codebook: shard views require the two_hop dictionary");
+        require(view_->global_ids.size() == graph_.node_count(),
+                "Codebook: shard view must map every local node");
+        require(view_->owned_begin + view_->owned_count <= graph_.node_count(),
+                "Codebook: shard view owned range out of bounds");
+    }
     stats_.code_builds = 1;
 
     const std::size_t n = graph_.node_count();
@@ -155,12 +188,26 @@ std::shared_ptr<Codebook::Round> Codebook::build_round(
     const BeepCode& beep = beep_code();
     const DistanceCode& distance = distance_code();
 
+    // Sharded builds derive per-node state for the owned local range only
+    // (halo slots stay empty; the transport imports them from the boundary
+    // table), and always by *global* id — the derivation an unsharded build
+    // would use for the same node.
+    const std::size_t owned_lo = view_.has_value() ? view_->owned_begin : 0;
+    const std::size_t owned_hi =
+        view_.has_value() ? owned_lo + view_->owned_count : n;
+    const auto global_id = [this](NodeId v) -> std::uint64_t {
+        return view_.has_value() ? view_->global_ids[v] : v;
+    };
+
     // Per-node payloads and fresh inputs r_v.
     round->inputs.resize(n);
     round->payloads.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
         round->payloads.push_back(make_payload(messages[v], params_.message_bits));
-        round->inputs[v] = round->rng.derive(0x7069636bu, v).next_u64();
+    }
+    for (std::size_t v = owned_lo; v < owned_hi; ++v) {
+        round->inputs[v] =
+            round->rng.derive(0x7069636bu, global_id(static_cast<NodeId>(v))).next_u64();
     }
 
     // Decoys: inputs and payloads drawn independently of everything heard.
@@ -175,12 +222,12 @@ std::shared_ptr<Codebook::Round> Codebook::build_round(
 
     // Codewords C(r) with their 1-positions, for nodes and decoys alike,
     // each pair generated in one PRNG pass.
-    round->codewords.reserve(n);
-    round->one_positions.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
+    round->codewords.resize(n);
+    round->one_positions.resize(n);
+    for (std::size_t v = owned_lo; v < owned_hi; ++v) {
         auto [codeword, positions] = beep.codeword_and_positions(round->inputs[v]);
-        round->codewords.push_back(std::move(codeword));
-        round->one_positions.push_back(std::move(positions));
+        round->codewords[v] = std::move(codeword);
+        round->one_positions[v] = std::move(positions);
     }
     round->decoy_codewords.reserve(params_.decoy_count);
     round->decoy_one_positions.reserve(params_.decoy_count);
@@ -265,14 +312,16 @@ std::shared_ptr<Codebook::Round> Codebook::build_round(
     }
 
     // Fault-free phase-2 schedules CD(r_v, payload_v): D(payload_v) is
-    // already in the dictionary, so only the scatter remains.
-    round->combined_schedules.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
-        round->combined_schedules.push_back(Bitstring::scatter(
-            beep.length(), round->one_positions[v], round->candidate_encoded[v]));
-        round->phase2_beeps += round->combined_schedules.back().count();
+    // already in the dictionary, so only the scatter remains. Sharded energy
+    // totals count the owned nodes only — the transport sums them across
+    // shards, each node counted by exactly its owner.
+    round->combined_schedules.resize(n);
+    for (std::size_t v = owned_lo; v < owned_hi; ++v) {
+        round->combined_schedules[v] = Bitstring::scatter(
+            beep.length(), round->one_positions[v], round->candidate_encoded[v]);
+        round->phase2_beeps += round->combined_schedules[v].count();
     }
-    round->phase1_beeps = n * beep.weight();
+    round->phase1_beeps = (owned_hi - owned_lo) * beep.weight();
 
     round->messages = messages;
     return round;
@@ -291,6 +340,10 @@ std::size_t Codebook::node_gap_capacity() {
 std::uint64_t Codebook::fingerprint() const {
     std::uint64_t h = 0x66696e6765727072ULL;
     auto mix = [&h](std::uint64_t value) { h = mix64(h ^ value); };
+    if (view_.has_value()) {  // unsharded digests are unchanged by the view feature
+        mix(0x73686172u);
+        mix(view_->digest());
+    }
     mix(graph_.node_count());
     mix(beep_length());
     mix(beep_code().weight());

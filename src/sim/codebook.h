@@ -52,6 +52,35 @@ public:
     /// outlive the codebook.
     Codebook(const Graph& graph, const SimulationParams& params);
 
+    /// A shard's window onto a larger simulation: the local graph is one
+    /// shard's closure (graph/partition.h) and every per-node derived
+    /// quantity that depends on identity — input streams r_v, the beep-code
+    /// length (a function of the *global* max degree) — uses the global ids,
+    /// so the shard's codewords are bit-identical to the slots an unsharded
+    /// codebook would build for the same nodes. Rounds built through a view
+    /// generate codewords and schedules for the owned local range only; the
+    /// halo slots stay empty and are filled by the sharded transport from
+    /// the boundary table. Requires the two_hop dictionary (the only policy
+    /// whose candidate sets are local by construction).
+    struct ShardView {
+        std::vector<std::uint32_t> global_ids;  ///< sorted; local index -> global id
+        std::uint32_t owned_begin = 0;          ///< first owned local index
+        std::uint32_t owned_count = 0;
+        std::uint64_t global_node_count = 0;
+        std::uint64_t global_max_degree = 0;
+
+        /// Order-sensitive content digest (cache keying).
+        std::uint64_t digest() const;
+    };
+
+    /// Shard-view build: `graph` is the shard's local closure graph.
+    Codebook(const Graph& graph, const SimulationParams& params, ShardView view);
+
+    /// The view this codebook was built through, or nullptr when unsharded.
+    const ShardView* shard_view() const noexcept {
+        return view_.has_value() ? &*view_ : nullptr;
+    }
+
     const BeepCode& beep_code() const noexcept { return combined_.beep(); }
     const DistanceCode& distance_code() const noexcept { return combined_.distance(); }
     const CombinedCode& combined_code() const noexcept { return combined_; }
@@ -161,6 +190,9 @@ public:
     Stats stats() const;
 
 private:
+    Codebook(const Graph& graph, const SimulationParams& params,
+             std::optional<ShardView> view);
+
     std::shared_ptr<Round> build_round(const std::vector<std::optional<Bitstring>>& messages,
                                        std::uint64_t nonce) const;
 
@@ -184,6 +216,7 @@ private:
 
     const Graph& graph_;
     SimulationParams params_;
+    std::optional<ShardView> view_;  ///< before combined_: its degree sizes the code
     CombinedCode combined_;
 
     /// candidate_entries(v): per node for two_hop, one shared list otherwise.

@@ -19,22 +19,6 @@ NB_FAILPOINT_DEFINE(fp_cache_insert, "cache.insert");
 // Fired before each LRU eviction (count- or byte-pressure).
 NB_FAILPOINT_DEFINE(fp_cache_evict, "cache.evict");
 
-/// Exact adjacency equality — the collision-safety check behind every
-/// digest match.
-bool graphs_equal(const Graph& a, const Graph& b) {
-    if (a.node_count() != b.node_count()) {
-        return false;
-    }
-    for (NodeId v = 0; v < a.node_count(); ++v) {
-        const auto na = a.neighbors(v);
-        const auto nb_ = b.neighbors(v);
-        if (!std::equal(na.begin(), na.end(), nb_.begin(), nb_.end())) {
-            return false;
-        }
-    }
-    return true;
-}
-
 }  // namespace
 
 std::uint64_t CodebookCache::graph_digest(const Graph& graph) {
@@ -46,6 +30,24 @@ std::uint64_t CodebookCache::graph_digest(const Graph& graph) {
         mix(neighbors.size());
         for (const auto u : neighbors) {
             mix(u);
+        }
+    }
+    return h;
+}
+
+std::uint64_t CodebookCache::graph_digest2(const Graph& graph) {
+    // Independent seed and a different mixing schedule (per-node degree
+    // salt, edge endpoints folded with their positions) so no single-digest
+    // collision class survives both digests.
+    std::uint64_t h = 0x6e625f6772646732ULL;
+    auto mix = [&h](std::uint64_t value) { h = mix64(h ^ mix64(value)); };
+    mix(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        const auto neighbors = graph.neighbors(v);
+        mix((static_cast<std::uint64_t>(v) << 32) | neighbors.size());
+        std::uint64_t i = 0;
+        for (const auto u : neighbors) {
+            mix(u + (++i << 40));
         }
     }
     return h;
@@ -63,6 +65,8 @@ std::uint64_t CodebookCache::Key::hash() const {
     std::uint64_t h = 0x636f6465626f6f6bULL;
     auto mix = [&h](std::uint64_t value) { h = mix64(h ^ value); };
     mix(graph_digest);
+    mix(graph_digest2);
+    mix(shard_digest);
     mix(node_count);
     mix(message_bits);
     mix(c_eps);
@@ -79,9 +83,12 @@ std::uint64_t CodebookCache::key_digest(const Graph& graph, const SimulationPara
 }
 
 CodebookCache::Key CodebookCache::make_key(const Graph& graph,
-                                           const SimulationParams& params) {
+                                           const SimulationParams& params,
+                                           std::uint64_t shard_digest) {
     Key key;
     key.graph_digest = graph_digest(graph);
+    key.graph_digest2 = graph_digest2(graph);
+    key.shard_digest = shard_digest;
     key.node_count = graph.node_count();
     key.message_bits = params.message_bits;
     key.c_eps = params.c_eps;
@@ -129,12 +136,22 @@ CodebookCache& CodebookCache::instance() {
 
 std::shared_ptr<const SharedCodebook> CodebookCache::acquire(
     const Graph& graph, const SimulationParams& params) {
-    const Key key = make_key(graph, params);
+    return acquire_impl(graph, params, nullptr);
+}
+
+std::shared_ptr<const SharedCodebook> CodebookCache::acquire(
+    const Graph& graph, const SimulationParams& params, const Codebook::ShardView& view) {
+    return acquire_impl(graph, params, &view);
+}
+
+std::shared_ptr<const SharedCodebook> CodebookCache::acquire_impl(
+    const Graph& graph, const SimulationParams& params, const Codebook::ShardView* view) {
+    const Key key = make_key(graph, params, view != nullptr ? view->digest() : 0);
     Shard& shard = *shards_[key.hash() % shards_.size()];
 
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
-        if (it->key == key && graphs_equal(it->codebook->graph(), graph)) {
+        if (it->key == key) {
             ++shard.hits;
             shard.lru.splice(shard.lru.begin(), shard.lru, it);
             return shard.lru.front().codebook;
@@ -147,7 +164,10 @@ std::shared_ptr<const SharedCodebook> CodebookCache::acquire(
     // (allocation failure, injected fault) did not produce a cached
     // codebook, and a retried job must observe the same counters as a
     // never-failed one.
-    auto built = std::make_shared<const SharedCodebook>(graph, canonical_params(params));
+    auto built = view != nullptr
+                     ? std::make_shared<const SharedCodebook>(graph, canonical_params(params),
+                                                              *view)
+                     : std::make_shared<const SharedCodebook>(graph, canonical_params(params));
     ++shard.builds;
 
     const std::size_t entry_bytes = built->memory_bytes();
@@ -179,10 +199,11 @@ std::shared_ptr<const SharedCodebook> CodebookCache::acquire(
 
 std::vector<std::size_t> CodebookCache::coloring(const Graph& graph) {
     const std::uint64_t digest = graph_digest(graph);
+    const std::uint64_t digest2 = graph_digest2(graph);
 
     std::lock_guard<std::mutex> lock(coloring_mutex_);
     for (auto it = colorings_.begin(); it != colorings_.end(); ++it) {
-        if (it->digest == digest && graphs_equal(it->graph, graph)) {
+        if (it->digest == digest && it->digest2 == digest2) {
             ++coloring_hits_;
             colorings_.splice(colorings_.begin(), colorings_, it);
             return colorings_.front().colors;
@@ -192,7 +213,7 @@ std::vector<std::size_t> CodebookCache::coloring(const Graph& graph) {
     ++coloring_builds_;
     ColoringEntry entry;
     entry.digest = digest;
-    entry.graph = graph;
+    entry.digest2 = digest2;
     entry.colors = greedy_distance2_coloring(graph);
     colorings_.push_front(std::move(entry));
     while (colorings_.size() > coloring_capacity_) {

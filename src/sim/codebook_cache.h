@@ -20,9 +20,15 @@
 //
 // Entries own a *copy* of the graph and build the Codebook against that
 // copy, so a cached Codebook never dangles when the transport whose graph
-// triggered the build dies. Keys carry an adjacency digest; a digest match
-// is confirmed by exact adjacency comparison before it counts as a hit, so
-// hash collisions cannot alias two different graphs.
+// triggered the build dies. Keys carry *two* independently seeded adjacency
+// digests (plus the node count), computed in one streaming pass each; a hit
+// requires both to match. The earlier design confirmed a digest match by
+// exact adjacency comparison, which walked — and the coloring cache even
+// copied — the whole graph per lookup; at sharded scale (10^5-node
+// subgraphs keyed once per shard) that comparison cost more than the hit
+// saved. A 128-bit digest pair makes an alias a ~2^-128 event per pair of
+// distinct graphs, which is the same collision budget content-addressed
+// stores run on.
 //
 // Counters (hits/builds/evictions, plus the coloring set; misses are not
 // counted separately because every miss builds under the lock, so
@@ -53,6 +59,11 @@ class SharedCodebook {
 public:
     SharedCodebook(const Graph& graph, const SimulationParams& params)
         : graph_(graph), codebook_(graph_, params) {}
+
+    /// Shard-view build (Codebook::ShardView): the graph is a shard closure.
+    SharedCodebook(const Graph& graph, const SimulationParams& params,
+                   Codebook::ShardView view)
+        : graph_(graph), codebook_(graph_, params, std::move(view)) {}
 
     const Codebook& codebook() const noexcept { return codebook_; }
     const Graph& graph() const noexcept { return graph_; }
@@ -90,6 +101,13 @@ public:
     std::shared_ptr<const SharedCodebook> acquire(const Graph& graph,
                                                   const SimulationParams& params);
 
+    /// acquire() for a shard-view codebook: the key additionally carries the
+    /// view digest, so two shards with equal closures but different owned
+    /// ranges (or global geometry) never alias.
+    std::shared_ptr<const SharedCodebook> acquire(const Graph& graph,
+                                                  const SimulationParams& params,
+                                                  const Codebook::ShardView& view);
+
     /// The cached greedy G^2 coloring of `graph` (the TDMA baseline's
     /// expensive per-transport setup), as a copy the caller owns.
     std::vector<std::size_t> coloring(const Graph& graph);
@@ -122,6 +140,11 @@ public:
     /// every sorted neighbor list).
     static std::uint64_t graph_digest(const Graph& graph);
 
+    /// Second adjacency digest with an independent seed and mixing schedule;
+    /// the (graph_digest, graph_digest2) pair is the streaming replacement
+    /// for the old exact-adjacency hit confirmation.
+    static std::uint64_t graph_digest2(const Graph& graph);
+
     /// Digest of the cache key acquire(graph, params) would use. The sweep
     /// engine's analytic cold-start cache block counts distinct key digests
     /// to predict exactly-once builds without touching the cache.
@@ -130,6 +153,8 @@ public:
 private:
     struct Key {
         std::uint64_t graph_digest = 0;
+        std::uint64_t graph_digest2 = 0;
+        std::uint64_t shard_digest = 0;  ///< Codebook::ShardView::digest(); 0 unsharded
         std::size_t node_count = 0;
         std::size_t message_bits = 0;
         std::size_t c_eps = 0;
@@ -160,14 +185,19 @@ private:
         std::uint64_t oversize_uncached = 0;
     };
 
-    /// A coloring entry keeps its own graph copy for exact hit confirmation.
+    /// A coloring entry is keyed by the digest pair — no graph copy.
     struct ColoringEntry {
         std::uint64_t digest = 0;
-        Graph graph;
+        std::uint64_t digest2 = 0;
         std::vector<std::size_t> colors;
     };
 
-    static Key make_key(const Graph& graph, const SimulationParams& params);
+    static Key make_key(const Graph& graph, const SimulationParams& params,
+                        std::uint64_t shard_digest = 0);
+
+    std::shared_ptr<const SharedCodebook> acquire_impl(const Graph& graph,
+                                                       const SimulationParams& params,
+                                                       const Codebook::ShardView* view);
 
     /// Process-wide default byte cap (1 GiB); NB_CACHE_BYTES overrides it
     /// for the instance(). Far above any shipped workload — the cap exists

@@ -1,105 +1,18 @@
 #include "sim/transport.h"
 
-#include <algorithm>
-#include <bit>
-#include <cstring>
 #include <future>
 
 #include "beep/batch_engine.h"
 #include "common/cancel.h"
 #include "common/error.h"
-#include "congest/algorithm.h"
+#include "sim/decode_core.h"
 
 namespace nb {
 
-namespace {
-
-enum class NodeState : unsigned char { correct, jammer, crashed };
-
-/// Per-node diagnostic deltas, reduced into the round stats in node order
-/// after the parallel loop so totals are independent of thread schedule.
-struct NodeDiagnostics {
-    std::size_t phase1_false_negatives = 0;
-    std::size_t phase1_false_positives = 0;
-    std::size_t phase2_errors = 0;
-    std::size_t delivery_mismatches = 0;
-};
-
-void build_node_states_into(std::vector<NodeState>& state, std::size_t n,
-                            const FaultModel& faults) {
-    state.assign(n, NodeState::correct);
-    for (const auto v : faults.jammers) {
-        require(v < n, "BeepTransport: jammer id out of range");
-        state[v] = NodeState::jammer;
-    }
-    for (const auto v : faults.crashed) {
-        require(v < n, "BeepTransport: crashed id out of range");
-        // Duplicate entries within one list are idempotent; only the
-        // contradictory jammer+crashed combination is rejected.
-        require(state[v] != NodeState::jammer, "BeepTransport: node cannot jam and crash");
-        state[v] = NodeState::crashed;
-    }
-}
-
-/// Reusable per-worker scratch: transcript/gather buffers, acceptance lists,
-/// bitslice counters and ground-truth pointers. Lives in the batch scratch,
-/// so every buffer reaches steady-state size during the first round of the
-/// first batch and is never reallocated again.
-struct DecodeWorkspace {
-    Bitstring heard1;
-    Bitstring heard2;
-    Bitstring gathered;
-    std::vector<NodeId> accepted_nodes;
-    std::vector<std::size_t> accepted_decoys;
-    std::vector<std::uint64_t> accept_mask;
-    std::vector<std::uint32_t> distances;  ///< phase-2 SoA sweep scratch
-    std::vector<std::uint64_t> sort_tmp;   ///< record rotation buffer
-    BitsliceScratch slice_scratch;
-    std::vector<const Bitstring*> expected;
-};
-
-}  // namespace
-
-/// Everything decode_round_into reuses across rounds and batches. Owned by
-/// the TransportBatch (caller lifetime), created on its first use; the
-/// fault-override schedule vectors stay empty on fault-free workloads.
-struct TransportBatch::Scratch {
-    std::vector<DecodeWorkspace> workspaces;
-    std::vector<NodeState> states;
-    std::vector<NodeDiagnostics> diagnostics;
-    std::vector<Bitstring> faulty_phase1;
-    std::vector<Bitstring> faulty_phase2;
-};
-
-namespace {
-
-/// The one pointer the decode loop's closure captures: per-round constants
-/// and the batch the workers write into. Keeping the closure to a single
-/// pointer keeps the std::function conversion at the parallel_for call site
-/// inside its small-buffer storage — no per-round allocation.
-struct DecodeContext {
-    const Graph* graph = nullptr;
-    const Codebook* codebook = nullptr;
-    const Codebook::Round* round = nullptr;
-    const std::vector<std::optional<Bitstring>>* messages = nullptr;
-    const std::vector<Bitstring>* phase1_schedules = nullptr;
-    const std::vector<Bitstring>* phase2_schedules = nullptr;
-    const BatchEngine* phase1_engine = nullptr;
-    const BatchEngine* phase2_engine = nullptr;
-    const Phase1Decoder* phase1_decoder = nullptr;
-    const DistanceCode* distance_code = nullptr;
-    TransportBatch* batch = nullptr;
-    std::vector<DecodeWorkspace>* workspaces = nullptr;
-    const std::vector<NodeState>* states = nullptr;
-    std::vector<NodeDiagnostics>* diagnostics = nullptr;
-    std::size_t round_index = 0;
-    std::size_t n = 0;
-    std::size_t decoy_count = 0;
-    bool bitsliced = false;
-    simd::Kernel kernel = simd::Kernel::auto_best;
-};
-
-}  // namespace
+using transport_detail::DecodeContext;
+using transport_detail::DecodeWorkspace;
+using transport_detail::NodeState;
+using transport_detail::build_node_states_into;
 
 TransportRound Transport::simulate_round(
     const std::vector<std::optional<Bitstring>>& messages, std::uint64_t round_nonce) const {
@@ -258,12 +171,14 @@ void BeepTransport::decode_round_into(const Codebook::Round& round, const RoundS
 
     const Phase1Decoder phase1_decoder(codebook_->beep_code(), params_.epsilon);
 
-    scratch.diagnostics.assign(n, NodeDiagnostics{});
+    scratch.diagnostics.assign(n, transport_detail::NodeDiagnostics{});
 
     DecodeContext ctx;
     ctx.graph = &graph_;
     ctx.codebook = codebook_;
     ctx.round = &round;
+    ctx.codewords = &round.codewords;
+    ctx.one_positions = &round.one_positions;
     ctx.messages = spec.messages;
     ctx.phase1_schedules = phase1_schedules;
     ctx.phase2_schedules = phase2_schedules;
@@ -284,182 +199,7 @@ void BeepTransport::decode_round_into(const Codebook::Round& round, const RoundS
     ctx.kernel = simd::resolve_kernel(params_.simd_kernel);
 
     pool_->parallel_for(n, [&ctx](std::size_t worker, std::size_t node) {
-        const DecodeContext& c = ctx;
-        const Codebook::Round& rd = *c.round;
-        const auto v = static_cast<NodeId>(node);
-        if ((*c.states)[v] != NodeState::correct) {
-            return;  // faulty nodes produce no output (their slot stays empty)
-        }
-        DecodeWorkspace& ws = (*c.workspaces)[worker];
-        NodeDiagnostics& diag = (*c.diagnostics)[v];
-
-        c.phase1_engine->hear_into(v, *c.phase1_schedules, ws.heard1);
-
-        // Candidate entries for this decoder: node ids first, then the null
-        // payload and the decoys (one list, built once per transport).
-        const std::span<const std::uint32_t> entries = c.codebook->candidate_entries(v);
-        const std::size_t node_candidates = c.codebook->node_candidate_count(v);
-
-        // Phase 1 decode: which candidate inputs pass the Lemma 9 test. The
-        // node's own input is known; the paper includes it in R_v (inclusive
-        // neighborhood) but it carries no foreign message. Under all_nodes
-        // the bitsliced kernel scores every candidate and decoy in one
-        // transcript pass; two-hop dictionaries are small enough that the
-        // per-candidate scalar kernel wins.
-        ws.accepted_nodes.clear();
-        ws.accepted_decoys.clear();
-        if (c.bitsliced) {
-            c.phase1_decoder->accept_all(ws.heard1, rd.codeword_slices, ws.slice_scratch,
-                                         ws.accept_mask, c.kernel);
-            for (std::size_t w = 0; w < ws.accept_mask.size(); ++w) {
-                std::uint64_t bits = ws.accept_mask[w];
-                while (bits != 0) {
-                    const std::size_t cand =
-                        w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-                    bits &= bits - 1;
-                    if (cand < c.n) {
-                        if (cand != v) {
-                            ws.accepted_nodes.push_back(static_cast<NodeId>(cand));
-                        }
-                    } else {
-                        ws.accepted_decoys.push_back(cand - c.n);
-                    }
-                }
-            }
-        } else {
-            for (std::size_t i = 0; i < node_candidates; ++i) {
-                const NodeId u = entries[i];
-                if (u != v && c.phase1_decoder->accepts_codeword(ws.heard1, rd.codewords[u],
-                                                                 c.kernel)) {
-                    ws.accepted_nodes.push_back(u);
-                }
-            }
-            for (std::size_t i = 0; i < c.decoy_count; ++i) {
-                if (c.phase1_decoder->accepts_codeword(ws.heard1, rd.decoy_codewords[i],
-                                                       c.kernel)) {
-                    ws.accepted_decoys.push_back(i);
-                }
-            }
-        }
-
-        // Diagnostics: accepted vs the set of *correct* transmitting
-        // neighbors (faulty neighbors never transmitted their codeword, so
-        // accepting one counts as a false positive).
-        std::size_t true_accepted = 0;
-        for (const auto u : ws.accepted_nodes) {
-            if (c.graph->has_edge(u, v) && (*c.states)[u] == NodeState::correct) {
-                ++true_accepted;
-            } else {
-                ++diag.phase1_false_positives;
-            }
-        }
-        diag.phase1_false_positives += ws.accepted_decoys.size();
-        std::size_t correct_neighbors = 0;
-        for (const auto u : c.graph->neighbors(v)) {
-            correct_neighbors += (*c.states)[u] == NodeState::correct ? 1 : 0;
-        }
-        diag.phase1_false_negatives += correct_neighbors - true_accepted;
-
-        // Phase 2 decode for every accepted foreign input, against the
-        // round's cached dictionary encodings. The accepted sender is the
-        // nearest-entry hint: when its encoding is within the unique-
-        // decoding radius, the dictionary scan is skipped (exact; see
-        // DistanceCode::nearest_entry).
-        c.phase2_engine->hear_into(v, *c.phase2_schedules, ws.heard2);
-
-        auto decode_entry_at = [&](const Bitstring& codeword,
-                                   const std::vector<std::size_t>& positions,
-                                   std::uint32_t hint_entry) {
-            // The subsequence at the codeword's 1-positions: the vector
-            // kernels gather it with the word-wise PEXT walk straight off
-            // the packed codeword; the scalar kernel keeps the position-list
-            // gather (faster than emulated PEXT). Identical bits either way
-            // — positions ARE the codeword's 1-positions (property-tested).
-            if (c.kernel == simd::Kernel::scalar) {
-                ws.heard2.gather_into(positions, ws.gathered);
-            } else {
-                ws.heard2.gather_mask_into(codeword, ws.gathered, c.kernel);
-            }
-            // Full-dictionary sweeps (all_nodes above the bitslice
-            // crossover) run the vectorized SoA scan; the sparse two-hop
-            // entry lists keep the per-entry fold. Same hint shortcut, same
-            // winner, bit-identical (see nearest_entry_soa).
-            if (!rd.candidate_encoded_soa.empty()) {
-                return c.distance_code->nearest_entry_soa(
-                    ws.gathered, rd.candidate_messages, rd.candidate_encoded_soa, entries,
-                    hint_entry, rd.decode_gaps, ws.distances, c.kernel);
-            }
-            return c.distance_code->nearest_entry(ws.gathered, rd.candidate_messages,
-                                                  rd.candidate_encoded, entries, hint_entry,
-                                                  rd.decode_gaps);
-        };
-
-        // Deliveries land as fixed-stride records in this worker's arena;
-        // the run is contiguous because this worker decodes one node at a
-        // time (see transport_batch.h).
-        std::uint64_t run_start = 0;
-        std::uint32_t run_count = 0;
-        const std::size_t stride = c.batch->message_words();
-        auto deliver_tail = [&](std::uint32_t entry) {
-            const std::uint64_t offset = c.batch->push_record(worker);
-            if (run_count == 0) {
-                run_start = offset;
-            }
-            const std::vector<std::uint64_t>& words = rd.candidate_tails[entry].words();
-            std::memcpy(c.batch->record_at(worker, offset), words.data(),
-                        stride * sizeof(std::uint64_t));
-            ++run_count;
-        };
-
-        for (const auto u : ws.accepted_nodes) {
-            const std::uint32_t entry =
-                decode_entry_at(rd.codewords[u], rd.one_positions[u], u);
-            const Bitstring& decoded = rd.candidate_messages[entry];
-            if (c.graph->has_edge(u, v) && (*c.states)[u] == NodeState::correct &&
-                decoded != rd.payloads[u]) {
-                ++diag.phase2_errors;
-            }
-            if (decoded.test(0)) {
-                deliver_tail(entry);
-            }
-        }
-        for (const auto i : ws.accepted_decoys) {
-            const auto hint = static_cast<std::uint32_t>(c.n + 1 + i);
-            const std::uint32_t entry =
-                decode_entry_at(rd.decoy_codewords[i], rd.decoy_one_positions[i], hint);
-            if (rd.candidate_messages[entry].test(0)) {
-                deliver_tail(entry);
-            }
-        }
-        c.batch->commit_node(c.round_index, v, worker, run_start, run_count, ws.sort_tmp);
-
-        // Ground-truth delivery for the mismatch diagnostic: faulty
-        // neighbors' messages are lost by definition. The expected messages
-        // are the cached payload tails, compared word-by-word against the
-        // arena records so the check allocates nothing.
-        ws.expected.clear();
-        for (const auto u : c.graph->neighbors(v)) {
-            if ((*c.messages)[u].has_value() && (*c.states)[u] == NodeState::correct) {
-                ws.expected.push_back(&rd.candidate_tails[u]);
-            }
-        }
-        std::sort(ws.expected.begin(), ws.expected.end(),
-                  [](const Bitstring* a, const Bitstring* b) { return message_less(*a, *b); });
-        bool mismatch = ws.expected.size() != run_count;
-        for (std::size_t i = 0; !mismatch && i < ws.expected.size(); ++i) {
-            const std::span<const std::uint64_t> record =
-                c.batch->delivered_words(c.round_index, v, i);
-            const std::vector<std::uint64_t>& expect = ws.expected[i]->words();
-            for (std::size_t w = 0; w < stride; ++w) {
-                if (record[w] != expect[w]) {
-                    mismatch = true;
-                    break;
-                }
-            }
-        }
-        if (mismatch) {
-            ++diag.delivery_mismatches;
-        }
+        transport_detail::decode_node(ctx, worker, static_cast<NodeId>(node));
     });
 
     for (const auto& diag : scratch.diagnostics) {

@@ -38,6 +38,11 @@ namespace nb {
 
 struct TransportRound;
 
+namespace transport_detail {
+struct DecodeContext;
+void decode_node(const DecodeContext& ctx, std::size_t worker, NodeId v);
+}  // namespace transport_detail
+
 /// One round's counters — TransportRound minus the delivered storage.
 struct TransportRoundStats {
     std::size_t beep_rounds = 0;
@@ -92,6 +97,9 @@ public:
 
 private:
     friend class BeepTransport;
+    friend class ShardedTransport;
+    friend void transport_detail::decode_node(const transport_detail::DecodeContext& ctx,
+                                              std::size_t worker, NodeId v);
 
     struct Slot {
         std::uint32_t worker = 0;
@@ -101,7 +109,7 @@ private:
 
     /// Reusable decode scratch (workspaces, fault state, diagnostics) owned
     /// by the batch so repeated simulate_rounds_into calls allocate nothing
-    /// once warm. Defined and populated in transport.cpp; the shared_ptr
+    /// once warm. Defined in decode_core.h (internal); the shared_ptr
     /// type-erases the deleter so this header stays independent of it.
     struct Scratch;
 
