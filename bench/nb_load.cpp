@@ -1,0 +1,382 @@
+// nb_load — load generator for nb_serve (DESIGN.md section 11).
+//
+// Drives a running server with concurrent submit streams of tiny sweep
+// specs, classifies every response (done / rejected:overloaded /
+// rejected:draining / error / transport failure), measures per-request
+// latency, and writes BENCH_serve.json (nb-serve-bench/v1): throughput,
+// p50/p90/p99 latency, shed rate, and the server's codebook-cache hit rate.
+//
+//   nb_load --socket PATH       server socket (required)
+//   nb_load --clients N         concurrent connections (default 4)
+//   nb_load --requests N        submit requests per client (default 8)
+//   nb_load --deadline SECONDS  per-job deadline sent with each submit
+//                               (default 30)
+//   nb_load --rounds N          simulated rounds per scenario (default 2)
+//   nb_load --n N               scenario node count (default 16)
+//   nb_load --distinct-seeds N  workload seeds cycled across requests
+//                               (default 4 — so the server's codebook cache
+//                               sees repeats and the hit rate is meaningful)
+//   nb_load --store             store each artifact (load-NNN objects)
+//   nb_load --json PATH         artifact path (default BENCH_serve.json)
+//   nb_load --wait SECONDS      retry the initial connect this long
+//                               (default 5; covers server startup in CI)
+//   nb_load --assert-sheds      exit 1 unless at least one submit was shed
+//                               with rejected:overloaded (the overload test)
+//   nb_load --assert-clean      exit 1 if any response was an error or a
+//                               transport failure (sheds are allowed)
+//
+// Exit code: 0 on a clean run (modulo the assert flags), 1 when the server
+// is unreachable or an assert flag fails, 2 on usage errors.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "serve/client.h"
+
+namespace {
+
+struct LoadConfig {
+    std::string socket_path;
+    std::size_t clients = 4;
+    std::size_t requests = 8;
+    double deadline_seconds = 30.0;
+    std::size_t rounds = 2;
+    std::size_t node_count = 16;
+    std::size_t distinct_seeds = 4;
+    bool store = false;
+    std::string json_path = "BENCH_serve.json";
+    double wait_seconds = 5.0;
+    bool assert_sheds = false;
+    bool assert_clean = false;
+};
+
+struct Outcome {
+    std::vector<double> latencies_ms;  ///< completed submits only
+    std::uint64_t done = 0;
+    std::uint64_t shed_overloaded = 0;
+    std::uint64_t shed_draining = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t transport_failures = 0;
+};
+
+/// One tiny nb-spec/v1 submit request: a single-scenario sweep sized to take
+/// milliseconds, with the workload seed cycling so the server's codebook
+/// cache sees repeated build keys across requests.
+std::string submit_request(const LoadConfig& config, std::size_t client,
+                           std::size_t request_index) {
+    std::ostringstream out;
+    nb::JsonWriter json(out, /*indent=*/0);
+    json.begin_object();
+    json.kv("op", "submit");
+    json.kv("deadline_seconds", config.deadline_seconds);
+    if (config.store) {
+        json.kv("store_as", "load-" + std::to_string(client) + "-" +
+                                std::to_string(request_index));
+    }
+    json.key("spec").begin_object();
+    json.kv("schema", "nb-spec/v1");
+    json.kv("sweep", "load");
+    json.key("scenarios").begin_array().begin_object();
+    json.kv("name", "load-point");
+    json.kv("rounds", static_cast<std::uint64_t>(config.rounds));
+    json.key("topology").begin_object();
+    json.kv("family", "random_regular");
+    json.kv("n", static_cast<std::uint64_t>(config.node_count));
+    json.kv("degree", 4);
+    json.kv("seed", 7);
+    json.end_object();
+    json.key("channel").begin_object();
+    json.kv("kind", "iid");
+    json.kv("epsilon", 0.1);
+    json.end_object();
+    json.key("workload").begin_object();
+    json.kv("message_bits", 4);
+    json.kv("seed", static_cast<std::uint64_t>(
+                        1 + (client * config.requests + request_index) %
+                                std::max<std::size_t>(1, config.distinct_seeds)));
+    json.end_object();
+    json.end_object().end_array();
+    json.end_object();  // spec
+    json.end_object();
+    return out.str();
+}
+
+void run_client(const LoadConfig& config, std::size_t client, Outcome& outcome) {
+    nb::serve::Client connection;
+    if (!connection.connect_wait(config.socket_path, config.wait_seconds)) {
+        outcome.transport_failures += config.requests;
+        return;
+    }
+    for (std::size_t i = 0; i < config.requests; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto response = connection.request(submit_request(config, client, i));
+        const double ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                      start)
+                .count();
+        if (!response.has_value()) {
+            ++outcome.transport_failures;
+            // The server may have dropped the connection (serve.accept
+            // faults, drain); try once to reconnect for the rest.
+            if (!connection.connect(config.socket_path)) {
+                outcome.transport_failures += config.requests - i - 1;
+                return;
+            }
+            continue;
+        }
+        const nb::JsonValue* ok = response->find("ok");
+        const nb::JsonValue* status = response->find("status");
+        if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+            ++outcome.done;
+            outcome.latencies_ms.push_back(ms);
+        } else if (status != nullptr && status->is_string() &&
+                   status->as_string() == "rejected") {
+            const nb::JsonValue* reason = response->find("reason");
+            if (reason != nullptr && reason->is_string() &&
+                reason->as_string() == "draining") {
+                ++outcome.shed_draining;
+            } else {
+                ++outcome.shed_overloaded;
+            }
+        } else {
+            ++outcome.errors;
+        }
+    }
+}
+
+double percentile(std::vector<double> sorted, double p) {
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    const std::size_t index = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5));
+    return sorted[index];
+}
+
+int run_main(int argc, char** argv) {
+    LoadConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto flag_value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto flag_number = [&](const char* flag) -> std::size_t {
+            const std::string value = flag_value(flag);
+            char* end = nullptr;
+            const auto parsed =
+                static_cast<std::size_t>(std::strtoull(value.c_str(), &end, 10));
+            if (value.empty() || end == nullptr || *end != '\0') {
+                std::cerr << "error: " << flag << " expects a number, got '" << value
+                          << "'\n";
+                std::exit(2);
+            }
+            return parsed;
+        };
+        auto flag_seconds = [&](const char* flag) -> double {
+            const std::string value = flag_value(flag);
+            char* end = nullptr;
+            const double parsed = std::strtod(value.c_str(), &end);
+            if (value.empty() || end == nullptr || *end != '\0' || parsed < 0.0) {
+                std::cerr << "error: " << flag
+                          << " expects a non-negative number of seconds, got '" << value
+                          << "'\n";
+                std::exit(2);
+            }
+            return parsed;
+        };
+        if (arg == "--socket") {
+            config.socket_path = flag_value("--socket");
+        } else if (arg == "--clients") {
+            config.clients = std::max<std::size_t>(1, flag_number("--clients"));
+        } else if (arg == "--requests") {
+            config.requests = std::max<std::size_t>(1, flag_number("--requests"));
+        } else if (arg == "--deadline") {
+            config.deadline_seconds = flag_seconds("--deadline");
+        } else if (arg == "--rounds") {
+            config.rounds = std::max<std::size_t>(1, flag_number("--rounds"));
+        } else if (arg == "--n") {
+            config.node_count = std::max<std::size_t>(8, flag_number("--n"));
+        } else if (arg == "--distinct-seeds") {
+            config.distinct_seeds = std::max<std::size_t>(1, flag_number("--distinct-seeds"));
+        } else if (arg == "--store") {
+            config.store = true;
+        } else if (arg == "--json") {
+            config.json_path = flag_value("--json");
+        } else if (arg == "--wait") {
+            config.wait_seconds = flag_seconds("--wait");
+        } else if (arg == "--assert-sheds") {
+            config.assert_sheds = true;
+        } else if (arg == "--assert-clean") {
+            config.assert_clean = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: nb_load --socket PATH [--clients N] [--requests N]\n"
+                         "               [--deadline S] [--rounds N] [--n N]\n"
+                         "               [--distinct-seeds N] [--store] [--json PATH]\n"
+                         "               [--wait S] [--assert-sheds] [--assert-clean]\n";
+            return 0;
+        } else {
+            std::cerr << "error: unknown option " << arg << " (try --help)\n";
+            return 2;
+        }
+    }
+    if (config.socket_path.empty()) {
+        std::cerr << "error: --socket is required (try --help)\n";
+        return 2;
+    }
+
+    nb::bench::header("nb_load", "nb_serve load generator",
+                      "admission control under concurrent load: completed jobs answer "
+                      "within their deadline, overload sheds typed rejections in "
+                      "microseconds, and the shared codebook cache amortizes builds "
+                      "across submissions");
+
+    std::vector<Outcome> outcomes(config.clients);
+    std::vector<std::thread> threads;
+    threads.reserve(config.clients);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < config.clients; ++c) {
+        threads.emplace_back(run_client, std::cref(config), c, std::ref(outcomes[c]));
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    Outcome total;
+    for (const auto& outcome : outcomes) {
+        total.done += outcome.done;
+        total.shed_overloaded += outcome.shed_overloaded;
+        total.shed_draining += outcome.shed_draining;
+        total.errors += outcome.errors;
+        total.transport_failures += outcome.transport_failures;
+        total.latencies_ms.insert(total.latencies_ms.end(), outcome.latencies_ms.begin(),
+                                  outcome.latencies_ms.end());
+    }
+    std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+    const std::uint64_t requests =
+        static_cast<std::uint64_t>(config.clients) * config.requests;
+    const double jobs_per_second =
+        wall_seconds > 0.0 ? static_cast<double>(total.done) / wall_seconds : 0.0;
+    const double shed_rate =
+        requests > 0 ? static_cast<double>(total.shed_overloaded + total.shed_draining) /
+                           static_cast<double>(requests)
+                     : 0.0;
+    const double p50 = percentile(total.latencies_ms, 0.50);
+    const double p90 = percentile(total.latencies_ms, 0.90);
+    const double p99 = percentile(total.latencies_ms, 0.99);
+
+    // One stats request for the server-side view — cache hit rate and the
+    // server's own shed/retry counters.
+    double cache_hit_rate = 0.0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_builds = 0;
+    bool have_stats = false;
+    {
+        nb::serve::Client connection;
+        if (connection.connect(config.socket_path)) {
+            if (const auto response = connection.request(R"({"op":"stats"})")) {
+                if (const nb::JsonValue* cache = response->find("cache")) {
+                    if (const nb::JsonValue* rate = cache->find("hit_rate")) {
+                        cache_hit_rate = rate->as_double();
+                    }
+                    if (const nb::JsonValue* hits = cache->find("hits")) {
+                        cache_hits = hits->as_uint64();
+                    }
+                    if (const nb::JsonValue* builds = cache->find("builds")) {
+                        cache_builds = builds->as_uint64();
+                    }
+                    have_stats = true;
+                }
+            }
+        }
+    }
+
+    nb::Table table({"metric", "value"});
+    table.add_row({"requests", nb::Table::num(requests)});
+    table.add_row({"done", nb::Table::num(total.done)});
+    table.add_row({"shed (overloaded)", nb::Table::num(total.shed_overloaded)});
+    table.add_row({"shed (draining)", nb::Table::num(total.shed_draining)});
+    table.add_row({"errors", nb::Table::num(total.errors)});
+    table.add_row({"transport failures", nb::Table::num(total.transport_failures)});
+    table.add_row({"jobs/s", nb::Table::num(jobs_per_second, 1)});
+    table.add_row({"p50 latency (ms)", nb::Table::num(p50, 2)});
+    table.add_row({"p90 latency (ms)", nb::Table::num(p90, 2)});
+    table.add_row({"p99 latency (ms)", nb::Table::num(p99, 2)});
+    table.add_row({"shed rate", nb::Table::num(shed_rate, 3)});
+    if (have_stats) {
+        table.add_row({"cache hit rate", nb::Table::num(cache_hit_rate, 3)});
+    }
+    table.print(std::cout, "nb_load against " + config.socket_path + " (" +
+                               std::to_string(config.clients) + " clients x " +
+                               std::to_string(config.requests) + " submits)");
+
+    nb::bench::write_json_file(config.json_path, [&](nb::JsonWriter& json) {
+        json.begin_object();
+        json.kv("schema", "nb-serve-bench/v1");
+        json.kv("clients", static_cast<std::uint64_t>(config.clients));
+        json.kv("requests", requests);
+        json.kv("done", total.done);
+        json.kv("shed_overloaded", total.shed_overloaded);
+        json.kv("shed_draining", total.shed_draining);
+        json.kv("errors", total.errors);
+        json.kv("transport_failures", total.transport_failures);
+        json.kv("wall_seconds", wall_seconds);
+        json.kv("jobs_per_second", jobs_per_second);
+        json.kv("latency_ms_p50", p50);
+        json.kv("latency_ms_p90", p90);
+        json.kv("latency_ms_p99", p99);
+        json.kv("shed_rate", shed_rate);
+        json.kv("cache_hits", cache_hits);
+        json.kv("cache_builds", cache_builds);
+        json.kv("cache_hit_rate", cache_hit_rate);
+        json.end_object();
+    });
+
+    if (total.done == 0 && total.shed_overloaded + total.shed_draining == 0) {
+        std::cerr << "error: no request reached the server at " << config.socket_path
+                  << '\n';
+        return 1;
+    }
+    if (config.assert_sheds && total.shed_overloaded == 0) {
+        std::cerr << "error: --assert-sheds: expected at least one rejected:overloaded "
+                     "response\n";
+        return 1;
+    }
+    if (config.assert_clean && (total.errors > 0 || total.transport_failures > 0)) {
+        std::cerr << "error: --assert-clean: " << total.errors << " errors, "
+                  << total.transport_failures << " transport failures\n";
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run_main(argc, argv);
+    } catch (const nb::precondition_error& error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 2;
+    } catch (const std::exception& error) {
+        std::cerr << "internal error: " << error.what() << '\n';
+        return 1;
+    }
+}

@@ -29,7 +29,8 @@
 //                             resumed sweep may change it freely)
 //   nb_run --max-retries N    extra attempts per job after a transient or
 //                             timeout failure (default 0)
-//   nb_run --timeout SECONDS  per-job watchdog deadline (0 = none)
+//   nb_run --timeout SECONDS  watchdog deadline (0 = none): per job with
+//                             --sweep, whole-run for plain scenario runs
 //   nb_run --journal PATH     checkpoint journal path (default: the --json
 //                             path with .json replaced by .journal.jsonl)
 //   nb_run --resume           replay completed jobs from the journal before
@@ -47,6 +48,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "scenarios/registry.h"
@@ -258,7 +260,9 @@ int run_main(int argc, char** argv) {
             max_retries_flag = flag_number("--max-retries");
             max_retries_set = true;
         } else if (arg == "--timeout") {
-            sweep_only_flag = "--timeout";
+            // Valid in both modes: the sweep engine arms each job's watchdog
+            // with it, and a plain scenario run goes through
+            // run_scenario_with_timeout — the same CancelToken path.
             const std::string value = flag_value("--timeout");
             char* end = nullptr;
             sweep_options.job_timeout_seconds = std::strtod(value.c_str(), &end);
@@ -377,7 +381,17 @@ int run_main(int argc, char** argv) {
         if (shards_set) {
             spec.shards = shards_flag;
         }
-        ScenarioResult result = run_scenario(spec);
+        ScenarioResult result;
+        try {
+            result = run_scenario_with_timeout(spec, sweep_options.job_timeout_seconds);
+        } catch (const cancelled_error&) {
+            // Same taxonomy as the sweep's per-job watchdog, surfaced as one
+            // line: a hung or over-budget scenario is a failed run (exit 1),
+            // not a crash and not an indefinite hang.
+            std::cerr << "error: scenario '" << spec.name << "' exceeded the --timeout "
+                      << "deadline of " << sweep_options.job_timeout_seconds << " s\n";
+            return 1;
+        }
         table.add_row({result.name, result.transport, result.channel,
                        Table::num(result.node_count), Table::num(result.max_degree),
                        Table::num(result.rounds), Table::num(result.perfect_rounds),

@@ -48,6 +48,16 @@ public:
     /// boundary.
     void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
 
+    /// Link a parent token: this token also reports cancelled once `parent`
+    /// does (flag or deadline), transitively through the parent's own chain.
+    /// This is how an outer owner — nb_serve's per-job deadline and drain
+    /// cancel — reaches work that installs its *own* per-attempt tokens on
+    /// other threads (the sweep engine's run_one_job): each inner token links
+    /// the outer one instead of the outer scope having to cross threads.
+    /// Non-owning: `parent` must outlive this token; set before the token is
+    /// shared with other threads.
+    void set_parent(const CancelToken* parent) noexcept { parent_ = parent; }
+
     /// Arm the watchdog: cancelled() becomes true once `deadline` passes.
     void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
         deadline_ns_.store(deadline.time_since_epoch().count(), std::memory_order_relaxed);
@@ -63,8 +73,11 @@ public:
             return true;
         }
         const auto deadline = deadline_ns_.load(std::memory_order_relaxed);
-        return deadline != 0 &&
-               std::chrono::steady_clock::now().time_since_epoch().count() >= deadline;
+        if (deadline != 0 &&
+            std::chrono::steady_clock::now().time_since_epoch().count() >= deadline) {
+            return true;
+        }
+        return parent_ != nullptr && parent_->cancelled();
     }
 
     /// Throw cancelled_error if cancelled. The poll call sites use this.
@@ -75,7 +88,8 @@ public:
     }
 
     /// Disarm flag and deadline (the sweep engine reuses one token per job
-    /// slot across retries).
+    /// slot across retries). The parent link is kept: reset() disarms this
+    /// token's own state, not the outer owner's.
     void reset() noexcept {
         cancelled_.store(false, std::memory_order_relaxed);
         deadline_ns_.store(0, std::memory_order_relaxed);
@@ -84,6 +98,7 @@ public:
 private:
     std::atomic<bool> cancelled_{false};
     std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock epoch ns; 0 = none
+    const CancelToken* parent_ = nullptr;       ///< linked outer token (not owned)
 };
 
 /// Installs `token` as the calling thread's current cancel token for the

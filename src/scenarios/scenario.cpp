@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "graph/generators.h"
@@ -244,6 +245,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         result.delivery_mismatches += round.delivery_mismatches;
     }
     return result;
+}
+
+ScenarioResult run_scenario_with_timeout(const ScenarioSpec& spec, double timeout_seconds) {
+    if (timeout_seconds <= 0.0) {
+        return run_scenario(spec);
+    }
+    CancelToken token;
+    token.set_timeout(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double>(timeout_seconds)));
+    // Same watchdog shape as the sweep engine's per-attempt token: the
+    // transports' round-boundary polls see the deadline through the
+    // thread-local scope, no plumbing through their signatures.
+    CancelScope scope(&token);
+    return run_scenario(spec);
 }
 
 std::uint64_t scenario_spec_fingerprint(const ScenarioSpec& spec) {

@@ -160,6 +160,14 @@ struct ScenarioResult {
 /// are a pure function of the spec.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
 
+/// run_scenario under a watchdog: a CancelToken armed with `now +
+/// timeout_seconds` is installed for the run (the same token/scope path the
+/// sweep engine's per-job watchdog uses), so a run that exceeds the budget
+/// unwinds with cancelled_error at its next round-boundary poll instead of
+/// hanging its caller. timeout_seconds <= 0 means no deadline — identical to
+/// plain run_scenario. `nb_run --timeout` without --sweep goes through this.
+ScenarioResult run_scenario_with_timeout(const ScenarioSpec& spec, double timeout_seconds);
+
 /// Order-sensitive digest of every result-determining field of the spec —
 /// the identity the sweep journal keys checkpoint records by. Execution
 /// knobs that cannot change the result (threads) are excluded, so a resumed

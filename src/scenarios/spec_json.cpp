@@ -370,8 +370,6 @@ SweepAxes parse_axes(const Cursor& cursor) {
 }  // namespace
 
 SweepSpec sweep_spec_from_json(std::string_view text, const std::string& context) {
-    fp_scenario_parse.check();
-
     JsonValue document;
     try {
         document = JsonValue::parse(text);
@@ -379,6 +377,15 @@ SweepSpec sweep_spec_from_json(std::string_view text, const std::string& context
         // Syntax errors carry "line:column: reason"; prepend the file.
         throw precondition_error(context + ": " + e.what());
     }
+    return sweep_spec_from_value(document, context);
+}
+
+SweepSpec sweep_spec_from_value(const JsonValue& document, const std::string& context) {
+    // The failpoint sits here, not in the text overload, so every spec
+    // ingestion path crosses it — including nb_serve submissions, whose
+    // request envelope is parsed once and handed over as a JsonValue.
+    fp_scenario_parse.check();
+
     const Cursor root{document, context, ""};
     expect_object(root);
     reject_unknown_keys(root, {"schema", "sweep", "max_retries", "scenarios", "axes"});

@@ -36,6 +36,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/json_parse.h"
 #include "scenarios/sweep.h"
 
 namespace nb {
@@ -46,6 +47,12 @@ namespace nb {
 /// spec.validate()'d (run_sweep does that, so semantic errors also name
 /// their job).
 SweepSpec sweep_spec_from_json(std::string_view text, const std::string& context);
+
+/// Same, from an already-parsed JSON document — the path nb_serve uses: its
+/// request envelope is parsed once and the spec subtree handed over without
+/// reserializing. Carries the same error contract (diagnostics are prefixed
+/// with `context`) and crosses the same scenario.parse failpoint.
+SweepSpec sweep_spec_from_value(const JsonValue& document, const std::string& context);
 
 /// Read `path` and parse it. Throws precondition_error (naming the path) if
 /// the file cannot be read.

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <exception>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -200,20 +201,24 @@ std::uint64_t sweep_fingerprint(const std::string& name,
 /// classification, journal append on success. Never throws — a permanent
 /// failure lands in `record.error` and the sweep keeps going.
 void run_one_job(const ScenarioSpec& job, std::size_t index, std::uint64_t job_fp,
-                 std::size_t max_retries, double timeout_seconds, SweepJournal& journal,
+                 std::size_t max_retries, double timeout_seconds,
+                 const CancelToken* external_cancel, SweepJournal& journal,
                  ScenarioResult& out, SweepJobRecord& record) {
     const auto start = std::chrono::steady_clock::now();
     const std::size_t max_attempts = max_retries + 1;
     for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
         record.attempts = attempt;
         CancelToken token;
+        token.set_parent(external_cancel);
         if (timeout_seconds > 0.0) {
             token.set_timeout(std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::duration<double>(timeout_seconds)));
         }
         // Install the watchdog for this attempt: round-boundary polls in the
         // transports (and chunk claims in any token-aware pool work) see it
-        // through the thread-local and unwind with cancelled_error.
+        // through the thread-local and unwind with cancelled_error. The
+        // parent link makes an outer owner's cancel (nb_serve's deadline or
+        // drain) visible through the same polls.
         CancelScope scope(&token);
         try {
             fp_sweep_job.check();
@@ -224,20 +229,14 @@ void run_one_job(const ScenarioSpec& job, std::size_t index, std::uint64_t job_f
                                       .count();
             journal.append(JournalRecord{index, job_fp, attempt, out});
             return;
-        } catch (const precondition_error& e) {
-            record.error = JobError{"fatal", "", e.what()};
-            break;  // a bug or bad spec: re-running it is not resilience
-        } catch (const invariant_error& e) {
-            record.error = JobError{"fatal", "", e.what()};
-            break;
-        } catch (const cancelled_error& e) {
-            record.error = JobError{"timeout", "", e.what()};
-        } catch (const failpoint::injected_fault& e) {
-            record.error = JobError{"transient", e.site(), e.what()};
-        } catch (const std::bad_alloc& e) {
-            record.error = JobError{"transient", "", e.what()};
-        } catch (const std::exception& e) {
-            record.error = JobError{"transient", "", e.what()};
+        } catch (...) {
+            record.error = classify_job_error(std::current_exception());
+            if (!record.error->retryable()) {
+                break;  // a bug or bad spec: re-running it is not resilience
+            }
+            if (external_cancel != nullptr && external_cancel->cancelled()) {
+                break;  // the owner is gone: retries would just re-cancel
+            }
         }
     }
     record.wall_seconds =
@@ -247,6 +246,26 @@ void run_one_job(const ScenarioSpec& job, std::size_t index, std::uint64_t job_f
 }
 
 }  // namespace
+
+JobError classify_job_error(std::exception_ptr error) {
+    try {
+        std::rethrow_exception(error);
+    } catch (const precondition_error& e) {
+        return JobError{"fatal", "", e.what()};
+    } catch (const invariant_error& e) {
+        return JobError{"fatal", "", e.what()};
+    } catch (const cancelled_error& e) {
+        return JobError{"timeout", "", e.what()};
+    } catch (const failpoint::injected_fault& e) {
+        return JobError{"transient", e.site(), e.what()};
+    } catch (const std::bad_alloc& e) {
+        return JobError{"transient", "", e.what()};
+    } catch (const std::exception& e) {
+        return JobError{"transient", "", e.what()};
+    } catch (...) {
+        return JobError{"transient", "", "unknown exception"};
+    }
+}
 
 void SweepSpec::validate() const {
     validate_spec_level(*this);
@@ -331,8 +350,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     pool.parallel_for(pending.size(), [&](std::size_t, std::size_t i) {
         const std::size_t job = pending[i];
         run_one_job(jobs[job], job, job_fingerprints[job], spec.max_retries,
-                    options.job_timeout_seconds, journal, result.results[job],
-                    result.job_records[job]);
+                    options.job_timeout_seconds, options.cancel, journal,
+                    result.results[job], result.job_records[job]);
     });
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

@@ -38,10 +38,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/json.h"
 #include "scenarios/scenario.h"
 #include "sim/codebook_cache.h"
@@ -120,6 +122,14 @@ struct SweepOptions {
     /// ignored wholesale; individual records are additionally matched by
     /// their per-job fingerprints.
     bool resume = false;
+
+    /// External cancel/deadline token (null = none; not owned, must outlive
+    /// the run_sweep call). Every per-attempt watchdog token links it as a
+    /// parent, so an outer owner — nb_serve's per-job deadline, its drain
+    /// hard-cancel — stops all of a sweep's jobs at their next poll even
+    /// though they run on pool workers with their own tokens. Cancellation
+    /// through this token classifies as "timeout", like the watchdog.
+    const CancelToken* cancel = nullptr;
 };
 
 /// Why a job permanently failed (after exhausting its retry budget, or
@@ -128,7 +138,21 @@ struct JobError {
     std::string kind;  ///< "transient" | "timeout" | "fatal"
     std::string site;  ///< failpoint site for injected faults, else ""
     std::string what;  ///< the exception message
+
+    /// Fatal errors (precondition/invariant violations) never retry —
+    /// re-running a bug is not resilience. Everything else is worth another
+    /// attempt: transients may heal, timeouts may have been load.
+    bool retryable() const noexcept { return kind != "fatal"; }
 };
+
+/// The one error classifier for job-shaped work, shared by the sweep
+/// engine's per-job boundary and nb_serve's executor boundary so the two
+/// report the same taxonomy: precondition/invariant violations are "fatal",
+/// cancelled_error (watchdog deadline or drain cancel) is "timeout", and
+/// injected faults (with their site), bad_alloc, and any other exception are
+/// "transient". `error` must be non-null; the classified JobError carries
+/// the exception message.
+JobError classify_job_error(std::exception_ptr error);
 
 /// Per-job execution detail. Deliberately *outside* the canonical
 /// nb-sweep/v1 bytes (like the worker count and wall clock): attempt counts

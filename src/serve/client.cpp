@@ -1,0 +1,75 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+
+namespace nb::serve {
+
+namespace {
+
+// One response line can carry a whole artifact as a string value; size the
+// client bound comfortably above the server's request bound.
+constexpr std::size_t max_response_bytes = 64u << 20;
+
+}  // namespace
+
+Client::~Client() {
+    close();
+}
+
+bool Client::connect(const std::string& socket_path) {
+    close();
+    fd_ = connect_unix(socket_path);
+    if (fd_ < 0) {
+        return false;
+    }
+    reader_.emplace(fd_);
+    return true;
+}
+
+bool Client::connect_wait(const std::string& socket_path, double timeout_seconds) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::duration<double>(timeout_seconds));
+    for (;;) {
+        if (connect(socket_path)) {
+            return true;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+void Client::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    reader_.reset();
+}
+
+std::optional<JsonValue> Client::request(std::string_view line) {
+    if (fd_ < 0 || !send_line(fd_, line)) {
+        close();
+        return std::nullopt;
+    }
+    std::string response;
+    if (!reader_->read_line(response, max_response_bytes)) {
+        close();
+        return std::nullopt;
+    }
+    try {
+        return JsonValue::parse(response);
+    } catch (const precondition_error&) {
+        close();
+        return std::nullopt;
+    }
+}
+
+}  // namespace nb::serve

@@ -1,0 +1,60 @@
+// Minimal nb_serve client: one connection, blocking request/response pairs.
+// Shared by the `nb_load` generator and the serve test suite so neither
+// hand-rolls socket framing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/json_parse.h"
+#include "serve/wire.h"
+
+namespace nb::serve {
+
+class Client {
+public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    Client(Client&& other) noexcept
+        : fd_(other.fd_), reader_(std::move(other.reader_)) {
+        other.fd_ = -1;
+        other.reader_.reset();
+    }
+    Client& operator=(Client&& other) noexcept {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            reader_ = std::move(other.reader_);
+            other.fd_ = -1;
+            other.reader_.reset();
+        }
+        return *this;
+    }
+
+    /// Connect to the server socket. Returns false on failure.
+    bool connect(const std::string& socket_path);
+
+    /// connect() with retry until `timeout_seconds` elapse — the "server is
+    /// still starting" path for tests and CI. Returns false on timeout.
+    bool connect_wait(const std::string& socket_path, double timeout_seconds);
+
+    bool connected() const noexcept { return fd_ >= 0; }
+    void close();
+
+    /// Send one request line and read one response line, parsed as JSON.
+    /// nullopt on any transport failure (peer gone, torn frame, unparseable
+    /// response) — after which the connection is closed.
+    std::optional<JsonValue> request(std::string_view line);
+
+private:
+    int fd_ = -1;
+    std::optional<LineReader> reader_;
+};
+
+}  // namespace nb::serve

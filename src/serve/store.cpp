@@ -1,0 +1,339 @@
+#include "serve/store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+
+namespace nb {
+
+namespace {
+
+// Fired after the temp file is written and fsynced but before the rename
+// publishes it — the expensive work is done, nothing is visible yet, and the
+// recovery scan must clean up the durable-but-unpublished temp.
+NB_FAILPOINT_DEFINE(fp_store_put, "store.put");
+
+constexpr const char* store_schema = "nb-store-object/v1";
+
+/// Parses "<name>.v<digits>" (the final-file shape). Returns false for
+/// anything else — temps, strays, dotfiles.
+bool parse_final_name(const std::string& file, std::string& name, std::uint64_t& version) {
+    const std::size_t dot = file.rfind(".v");
+    if (dot == std::string::npos || dot == 0 || dot + 2 >= file.size()) {
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = dot + 2; i < file.size(); ++i) {
+        const char c = file[i];
+        if (c < '0' || c > '9' || v > (UINT64_MAX - 9) / 10) {
+            return false;
+        }
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    name = file.substr(0, dot);
+    version = v;
+    return ArtifactStore::valid_name(name);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        return false;
+    }
+    out.clear();
+    char buffer[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+        out.append(buffer, got);
+    }
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    return ok;
+}
+
+/// Validates one final file against its name-derived identity. A file that
+/// fails any check is torn or foreign and must not be served.
+bool validate_object(const std::string& text, const std::string& name,
+                     std::uint64_t version, std::string* payload_out) {
+    const std::size_t newline = text.find('\n');
+    if (newline == std::string::npos) {
+        return false;  // torn inside the header
+    }
+    JsonValue header;
+    try {
+        header = JsonValue::parse(std::string_view(text.data(), newline));
+        const JsonValue* schema = header.find("schema");
+        const JsonValue* object = header.find("object");
+        const JsonValue* file_version = header.find("version");
+        const JsonValue* bytes = header.find("bytes");
+        const JsonValue* checksum = header.find("checksum");
+        if (schema == nullptr || object == nullptr || file_version == nullptr ||
+            bytes == nullptr || checksum == nullptr) {
+            return false;
+        }
+        if (schema->as_string() != store_schema || object->as_string() != name ||
+            file_version->as_uint64() != version) {
+            return false;
+        }
+        const std::string_view payload(text.data() + newline + 1, text.size() - newline - 1);
+        if (payload.size() != bytes->as_uint64() ||
+            ArtifactStore::checksum(payload) != checksum->as_uint64()) {
+            return false;
+        }
+        if (payload_out != nullptr) {
+            payload_out->assign(payload);
+        }
+        return true;
+    } catch (const precondition_error&) {
+        return false;
+    }
+}
+
+/// fsync the directory so a just-completed rename is durable. Failure is
+/// not fatal to the caller's put — the data file itself is already synced —
+/// but it narrows the crash window, so we try.
+void fsync_directory(const std::string& directory) {
+    const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+/// Deletes `path` on scope exit unless disarmed — the temp-file guard that
+/// keeps an exception (I/O failure, injected store.put fault) from leaking
+/// durable-but-unpublished debris into the directory.
+class UnlinkGuard {
+public:
+    explicit UnlinkGuard(std::string path) : path_(std::move(path)) {}
+    ~UnlinkGuard() {
+        if (armed_) {
+            ::unlink(path_.c_str());
+        }
+    }
+    void disarm() noexcept { armed_ = false; }
+
+private:
+    std::string path_;
+    bool armed_ = true;
+};
+
+}  // namespace
+
+bool ArtifactStore::valid_name(const std::string& name) {
+    if (name.empty() || name.size() > 200 || name.front() == '.') {
+        return false;
+    }
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+        if (!ok) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t ArtifactStore::checksum(std::string_view bytes) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+ArtifactStore::ArtifactStore(std::string directory) : directory_(std::move(directory)) {
+    require(!directory_.empty(), "ArtifactStore: empty directory path");
+    if (::mkdir(directory_.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw precondition_error("ArtifactStore: cannot create directory '" + directory_ +
+                                 "': " + std::strerror(errno));
+    }
+    recover();
+}
+
+void ArtifactStore::recover() {
+    DIR* dir = ::opendir(directory_.c_str());
+    require(dir != nullptr, "ArtifactStore: cannot scan directory '" + directory_ + "'");
+
+    std::vector<std::string> temps;
+    std::vector<std::pair<std::string, std::uint64_t>> finals;
+    while (const dirent* entry = ::readdir(dir)) {
+        const std::string file = entry->d_name;
+        if (file == "." || file == "..") {
+            continue;
+        }
+        if (file.size() > 4 && file.compare(file.size() - 4, 4, ".tmp") == 0) {
+            temps.push_back(file);
+            continue;
+        }
+        std::string name;
+        std::uint64_t version = 0;
+        if (parse_final_name(file, name, version)) {
+            finals.emplace_back(std::move(name), version);
+        }
+        // Anything else (stray files) is left alone: recovery only deletes
+        // what the store's own protocol could have produced.
+    }
+    ::closedir(dir);
+
+    // Temp debris: durable-but-unpublished writes from a crash (or injected
+    // fault) between fsync and rename. Never visible, always safe to drop.
+    for (const auto& temp : temps) {
+        ::unlink((directory_ + "/" + temp).c_str());
+    }
+
+    for (auto& [name, version] : finals) {
+        std::string text;
+        const std::string path = directory_ + "/" + name + ".v" + std::to_string(version);
+        if (!read_file(path, text) || !validate_object(text, name, version, nullptr)) {
+            // Torn entry (crash mid-write without the protocol, external
+            // corruption, byte-boundary truncation in the property tests):
+            // truncate it out of existence so it can never be served.
+            ::unlink(path.c_str());
+            continue;
+        }
+        versions_[name].push_back(version);
+    }
+    for (auto& [name, list] : versions_) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+    if (!temps.empty()) {
+        fsync_directory(directory_);
+    }
+}
+
+std::uint64_t ArtifactStore::put_locked(const std::string& name, std::string_view bytes) {
+    require(valid_name(name), "ArtifactStore: invalid object name '" + name + "'");
+    const auto it = versions_.find(name);
+    const std::uint64_t version =
+        (it == versions_.end() || it->second.empty()) ? 1 : it->second.back() + 1;
+
+    std::ostringstream header;
+    JsonWriter json(header, /*indent=*/0);
+    json.begin_object();
+    json.kv("schema", store_schema);
+    json.kv("object", name);
+    json.kv("version", version);
+    json.kv("bytes", static_cast<std::uint64_t>(bytes.size()));
+    json.kv("checksum", checksum(bytes));
+    json.end_object();
+    const std::string head = header.str() + "\n";
+
+    const std::string final_path = directory_ + "/" + name + ".v" + std::to_string(version);
+    const std::string temp_path = final_path + ".tmp";
+    UnlinkGuard guard(temp_path);
+
+    std::FILE* file = std::fopen(temp_path.c_str(), "wb");
+    require(file != nullptr, "ArtifactStore: cannot create '" + temp_path + "'");
+    const bool written =
+        std::fwrite(head.data(), 1, head.size(), file) == head.size() &&
+        (bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size()) &&
+        std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+    std::fclose(file);
+    require(written, "ArtifactStore: write failed for '" + temp_path + "'");
+
+    // The durable-but-unpublished window: the temp is fully on disk, the
+    // object is not yet visible. A fault here is what recovery exists for.
+    fp_store_put.check();
+
+    require(std::rename(temp_path.c_str(), final_path.c_str()) == 0,
+            "ArtifactStore: cannot publish '" + final_path + "'");
+    guard.disarm();
+    fsync_directory(directory_);
+
+    versions_[name].push_back(version);
+    return version;
+}
+
+std::uint64_t ArtifactStore::put(const std::string& name, std::string_view bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return put_locked(name, bytes);
+}
+
+std::optional<std::uint64_t> ArtifactStore::cput(const std::string& name,
+                                                 std::string_view bytes,
+                                                 std::uint64_t expected) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require(valid_name(name), "ArtifactStore: invalid object name '" + name + "'");
+    const auto it = versions_.find(name);
+    const std::uint64_t latest =
+        (it == versions_.end() || it->second.empty()) ? 0 : it->second.back();
+    if (latest != expected) {
+        return std::nullopt;
+    }
+    return put_locked(name, bytes);
+}
+
+std::optional<StoreObject> ArtifactStore::read_version(const std::string& name,
+                                                       std::uint64_t version) const {
+    const std::string path = directory_ + "/" + name + ".v" + std::to_string(version);
+    std::string text;
+    StoreObject object;
+    object.version = version;
+    if (!read_file(path, text) || !validate_object(text, name, version, &object.bytes)) {
+        return std::nullopt;
+    }
+    return object;
+}
+
+std::optional<StoreObject> ArtifactStore::get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = versions_.find(name);
+    if (it == versions_.end() || it->second.empty()) {
+        return std::nullopt;
+    }
+    return read_version(name, it->second.back());
+}
+
+std::optional<StoreObject> ArtifactStore::get(const std::string& name,
+                                              std::uint64_t version) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = versions_.find(name);
+    if (it == versions_.end() ||
+        std::find(it->second.begin(), it->second.end(), version) == it->second.end()) {
+        return std::nullopt;
+    }
+    return read_version(name, version);
+}
+
+std::vector<StoreEntry> ArtifactStore::list() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<StoreEntry> entries;
+    entries.reserve(versions_.size());
+    for (const auto& [name, list] : versions_) {
+        if (list.empty()) {
+            continue;
+        }
+        StoreEntry entry;
+        entry.name = name;
+        entry.latest_version = list.back();
+        if (const auto object = read_version(name, list.back())) {
+            entry.bytes = object->bytes.size();
+        }
+        entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const StoreEntry& a, const StoreEntry& b) { return a.name < b.name; });
+    return entries;
+}
+
+std::size_t ArtifactStore::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return versions_.size();
+}
+
+}  // namespace nb

@@ -1,0 +1,121 @@
+// Crash-safe versioned artifact store — where nb_serve keeps job results so
+// a crash (or SIGKILL) between "job finished" and "client read the result"
+// loses nothing that was ever acknowledged.
+//
+// Model (after the dPods object store): a store is a directory of named
+// objects; every put writes a NEW version rather than overwriting, so
+// readers never observe a half-written object and a torn write can only
+// damage the version being written, never the history. One object version is
+// one file `<name>.v<N>`:
+//
+//   {"schema":"nb-store-object/v1","object":"<name>","version":N,
+//    "bytes":<payload length>,"checksum":<fnv1a-64>}\n<payload bytes>
+//
+// Durability protocol per put:
+//   1. write `<name>.v<N>.tmp` completely (header line + payload),
+//   2. fflush + fsync the temp,
+//   3. rename(temp, final) — atomic on POSIX,
+//   4. fsync the directory, so the rename itself is durable.
+// A crash before (3) leaves only a `.tmp` (deleted at recovery); a crash
+// after (3) but before (4) leaves a fully-written final that either survives
+// or vanishes wholesale. The `store.put` failpoint sits between (2) and (3),
+// the worst place a real fault can land: work done, nothing published.
+//
+// Startup recovery (the constructor) deletes every `*.tmp`, validates every
+// final (header parses, schema/name/version agree with the file name,
+// payload length and checksum match), deletes the ones that don't — torn
+// entries are truncated out of existence — and indexes the survivors. The
+// store then resumes at max(version)+1 per object: versions are monotonic
+// across restarts.
+//
+// Versions are retained, not compacted: `get(name)` reads the latest,
+// `get(name, v)` any surviving version, and the recovery property tests
+// corrupt the newest version at every byte boundary and check the store
+// falls back to the last complete one.
+//
+// `cput(name, bytes, expected)` is the lock-free-update primitive (compare
+// version, then put): it publishes a new version only if the latest is still
+// `expected` (0 = "object must not exist yet"), so two racing writers get
+// exactly one winner. All methods are thread-safe behind one store mutex —
+// correctness first; artifact writes are not the serve hot path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace nb {
+
+/// One read object: the payload plus the version it came from.
+struct StoreObject {
+    std::uint64_t version = 0;
+    std::string bytes;
+};
+
+/// One `list()` row.
+struct StoreEntry {
+    std::string name;
+    std::uint64_t latest_version = 0;
+    std::uint64_t bytes = 0;  ///< payload size of the latest version
+};
+
+class ArtifactStore {
+public:
+    /// Opens (creating the directory if needed) and runs recovery: deletes
+    /// temp debris and torn finals, indexes the valid versions. Throws
+    /// precondition_error if the directory cannot be created or scanned.
+    explicit ArtifactStore(std::string directory);
+
+    ArtifactStore(const ArtifactStore&) = delete;
+    ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+    /// Durably publish a new version of `name`; returns its version number.
+    /// Throws precondition_error on invalid names or I/O failure (the temp
+    /// file is cleaned up; the store's published state is untouched).
+    std::uint64_t put(const std::string& name, std::string_view bytes);
+
+    /// Conditional put: publishes only if the current latest version of
+    /// `name` equals `expected` (0 = the object must not exist). Returns the
+    /// new version, or nullopt if the expectation failed — the caller lost
+    /// the race and should re-read.
+    std::optional<std::uint64_t> cput(const std::string& name, std::string_view bytes,
+                                      std::uint64_t expected);
+
+    /// Latest surviving version of `name`, or nullopt if absent.
+    std::optional<StoreObject> get(const std::string& name) const;
+
+    /// A specific version, or nullopt if that version does not survive.
+    std::optional<StoreObject> get(const std::string& name, std::uint64_t version) const;
+
+    /// Every object with its latest version, sorted by name.
+    std::vector<StoreEntry> list() const;
+
+    /// Objects currently indexed (latest versions only).
+    std::size_t size() const;
+
+    const std::string& directory() const noexcept { return directory_; }
+
+    /// Object names: non-empty, at most 200 bytes, characters from
+    /// [A-Za-z0-9._-], no leading dot (no hidden files, no "..").
+    static bool valid_name(const std::string& name);
+
+    /// FNV-1a 64-bit over `bytes` — the header checksum.
+    static std::uint64_t checksum(std::string_view bytes);
+
+private:
+    std::uint64_t put_locked(const std::string& name, std::string_view bytes);
+    std::optional<StoreObject> read_version(const std::string& name,
+                                            std::uint64_t version) const;
+    void recover();
+
+    std::string directory_;
+    mutable std::mutex mutex_;
+    /// name -> sorted list of surviving versions (last = latest).
+    std::unordered_map<std::string, std::vector<std::uint64_t>> versions_;
+};
+
+}  // namespace nb

@@ -1,0 +1,132 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace nb::serve {
+
+namespace {
+
+bool fill_address(const std::string& path, sockaddr_un& address) {
+    std::memset(&address, 0, sizeof address);
+    address.sun_family = AF_UNIX;
+    if (path.size() >= sizeof address.sun_path) {
+        return false;
+    }
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog) {
+    sockaddr_un address;
+    require(fill_address(path, address),
+            "serve: socket path too long (" + std::to_string(path.size()) +
+                " bytes; sockaddr_un holds " + std::to_string(sizeof address.sun_path - 1) +
+                "): '" + path + "'");
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    require(fd >= 0, std::string("serve: socket(): ") + std::strerror(errno));
+
+    // A stale socket file from a previous (crashed) server makes bind fail
+    // with EADDRINUSE even though nobody is listening; replace it. A *live*
+    // server is still protected: its listener keeps working on the old
+    // inode, but two live servers on one path is an operator error this
+    // deliberately does not try to detect.
+    ::unlink(path.c_str());
+
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        throw precondition_error("serve: bind('" + path + "'): " + reason);
+    }
+    if (::listen(fd, backlog) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        ::unlink(path.c_str());
+        throw precondition_error("serve: listen('" + path + "'): " + reason);
+    }
+    return fd;
+}
+
+int connect_unix(const std::string& path) {
+    sockaddr_un address;
+    if (!fill_address(path, address)) {
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return -1;
+    }
+    int rc = 0;
+    do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool send_line(int fd, std::string_view line) {
+    std::string frame;
+    frame.reserve(line.size() + 1);
+    frame.append(line);
+    frame.push_back('\n');
+
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool LineReader::read_line(std::string& out, std::size_t max_bytes) {
+    if (failed_) {
+        return false;
+    }
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            if (newline > max_bytes) {
+                failed_ = true;
+                return false;
+            }
+            out.assign(buffer_, 0, newline);
+            buffer_.erase(0, newline + 1);
+            return true;
+        }
+        if (buffer_.size() > max_bytes) {
+            failed_ = true;  // unbounded line: cut the peer off
+            return false;
+        }
+        char chunk[1 << 14];
+        ssize_t n = 0;
+        do {
+            n = ::recv(fd_, chunk, sizeof chunk, 0);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0) {
+            failed_ = true;  // EOF (torn frame if buffer_ is non-empty) or error
+            return false;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+}  // namespace nb::serve

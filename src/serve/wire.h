@@ -1,0 +1,51 @@
+// Wire layer for nb_serve: AF_UNIX stream sockets carrying newline-delimited
+// JSON — one request line, one response line, no HTTP and no dependency.
+//
+// The framing is the journal's framing (one complete JSON document per
+// line), reused on a socket: a peer that crashes mid-line leaves a torn
+// frame the reader simply fails closed on, exactly like the journal's torn
+// tail. Local-socket-only by design — the server binds a filesystem path, so
+// the OS's file permissions are the authentication story and no network
+// surface exists.
+//
+// All helpers are EINTR-safe, use MSG_NOSIGNAL (a peer that hangs up turns
+// into a return code, never SIGPIPE), and enforce a caller-chosen line
+// length bound — the admission control of the byte layer: a client streaming
+// an unbounded line is disconnected before it can balloon server memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace nb::serve {
+
+/// Create, bind, and listen on a unix socket at `path`, replacing a stale
+/// socket file if one exists. Throws precondition_error on failure (path too
+/// long for sockaddr_un — ~107 bytes — bind/listen errors).
+int listen_unix(const std::string& path, int backlog);
+
+/// Connect to the unix socket at `path`. Returns the fd, or -1 on failure.
+int connect_unix(const std::string& path);
+
+/// Write `line` plus a terminating '\n' fully. Returns false on any error
+/// (peer gone, fd closed); never raises SIGPIPE.
+bool send_line(int fd, std::string_view line);
+
+/// Buffered reader for newline-delimited frames on one fd.
+class LineReader {
+public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /// Read the next complete line (without its '\n') into `out`. Returns
+    /// false on EOF, error, or a line exceeding `max_bytes` — all of which
+    /// mean "stop talking to this peer".
+    bool read_line(std::string& out, std::size_t max_bytes);
+
+private:
+    int fd_;
+    std::string buffer_;
+    bool failed_ = false;
+};
+
+}  // namespace nb::serve

@@ -224,9 +224,22 @@ std::vector<std::size_t> CodebookCache::coloring(const Graph& graph) {
 }
 
 CodebookCache::Stats CodebookCache::stats() const {
+    // All locks are taken before any counter is read — always in shard order
+    // then the coloring lock, and nothing in this class acquires two of these
+    // locks in any other order, so the nested acquisition cannot deadlock.
+    // Locking one shard at a time would let a lookup that completes between
+    // two shard reads appear in neither (or a build in one shard pair with
+    // its hit missing), which is exactly the skew a concurrent server's
+    // hit-rate report must not have.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size() + 1);
+    for (const auto& shard : shards_) {
+        locks.emplace_back(shard->mutex);
+    }
+    locks.emplace_back(coloring_mutex_);
+
     Stats total;
     for (const auto& shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mutex);
         total.hits += shard->hits;
         total.builds += shard->builds;
         total.evictions += shard->evictions;
@@ -234,7 +247,6 @@ CodebookCache::Stats CodebookCache::stats() const {
         total.bytes_resident += shard->bytes;
         total.oversize_uncached += shard->oversize_uncached;
     }
-    std::lock_guard<std::mutex> lock(coloring_mutex_);
     total.coloring_hits = coloring_hits_;
     total.coloring_builds = coloring_builds_;
     total.coloring_evictions = coloring_evictions_;

@@ -124,7 +124,24 @@ public:
         std::uint64_t coloring_hits = 0;
         std::uint64_t coloring_builds = 0;
         std::uint64_t coloring_evictions = 0;
+
+        /// hits / (hits + builds), 0 when nothing has been looked up — the
+        /// one derived figure every consumer (nb_serve's `stats` response,
+        /// nb_load's BENCH_serve.json, the bench console reports) wants, so
+        /// it is computed here once instead of ad-hoc at each call site.
+        double hit_rate() const noexcept {
+            const std::uint64_t lookups = hits + builds;
+            return lookups == 0 ? 0.0
+                                : static_cast<double>(hits) / static_cast<double>(lookups);
+        }
     };
+
+    /// Consistent snapshot of every counter: all shard locks and the coloring
+    /// lock are held simultaneously while the totals are read, so the
+    /// returned struct describes one instant — hits + builds equals the
+    /// lookups that had completed at that instant, and concurrent traffic
+    /// cannot skew a rate computed from two fields. nb_serve's `stats`
+    /// request reports this snapshot verbatim while executor threads run.
     Stats stats() const;
 
     /// Drop every entry and zero the counters. Tests use this to make

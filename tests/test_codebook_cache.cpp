@@ -8,6 +8,11 @@
 // nb_tests).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "graph/algorithms.h"
 #include "scenarios/registry.h"
 #include "scenarios/sweep.h"
@@ -135,6 +140,60 @@ TEST(CodebookCacheProperty, ClearResetsCountersAndDropsEntries) {
     EXPECT_EQ(cache.stats().builds, 1u);
     EXPECT_NE(&rebuilt.codebook(), &transport.codebook());
     EXPECT_EQ(rebuilt.codebook().fingerprint(), transport.codebook().fingerprint());
+}
+
+TEST(CodebookCacheProperty, StatsSnapshotIsConsistentAndExposesHitRate) {
+    CodebookCache& cache = CodebookCache::instance();
+    cache.clear();
+    EXPECT_EQ(cache.stats().hit_rate(), 0.0);  // no lookups: defined as 0
+
+    const Graph graph = scenarios::find_scenario("ge-burst")->topology.build();
+    SimulationParams a;
+    a.message_bits = 6;
+    SimulationParams b = a;
+    b.c_eps = 6;
+    const BeepTransport build_a(graph, a);
+    const BeepTransport build_b(graph, b);
+    const BeepTransport hit_a(graph, a);
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.builds, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0 / 3.0);
+
+    // stats() takes every shard lock plus the coloring lock simultaneously —
+    // a consistent snapshot by construction. Hammer it from one thread while
+    // others acquire concurrently: every snapshot must be internally sane
+    // (lookups never run backwards between snapshots, rate stays in [0, 1]),
+    // and the nested locking must not deadlock against in-flight builds.
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        std::uint64_t last_lookups = 0;
+        while (!stop.load()) {
+            const auto snapshot = cache.stats();
+            const std::uint64_t lookups = snapshot.hits + snapshot.builds;
+            EXPECT_GE(lookups, last_lookups);
+            EXPECT_GE(snapshot.hit_rate(), 0.0);
+            EXPECT_LE(snapshot.hit_rate(), 1.0);
+            last_lookups = lookups;
+        }
+    });
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&, w] {
+            SimulationParams params;
+            params.message_bits = 6;
+            params.c_eps = 4 + static_cast<std::size_t>(w % 2) * 2;
+            for (int i = 0; i < 50; ++i) {
+                const BeepTransport transport(graph, params);
+            }
+        });
+    }
+    for (auto& worker : workers) {
+        worker.join();
+    }
+    stop.store(true);
+    reader.join();
 }
 
 TEST(CodebookCacheProperty, ColoringCacheServesTdmaTransports) {

@@ -6,6 +6,7 @@
 
 #include <sstream>
 
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/math_util.h"
 #include "graph/generators.h"
@@ -154,6 +155,26 @@ TEST(RunScenario, DeterministicAcrossRuns) {
     EXPECT_EQ(a.phase1_false_positives, b.phase1_false_positives);
     EXPECT_EQ(a.phase2_errors, b.phase2_errors);
     EXPECT_EQ(a.delivery_mismatches, b.delivery_mismatches);
+}
+
+TEST(RunScenario, TimeoutGoesThroughTheWatchdogTokenPath) {
+    const ScenarioSpec spec = scenarios::e11_noise_point(0.2, 5);
+
+    // No deadline (or a generous one): identical to plain run_scenario.
+    const ScenarioResult plain = run_scenario(spec);
+    const ScenarioResult unbounded = run_scenario_with_timeout(spec, 0.0);
+    const ScenarioResult generous = run_scenario_with_timeout(spec, 3600.0);
+    EXPECT_EQ(plain.total_beeps, unbounded.total_beeps);
+    EXPECT_EQ(plain.total_beeps, generous.total_beeps);
+
+    // An already-expired deadline: the transports' round-boundary polls
+    // unwind with cancelled_error — the same token path the sweep engine's
+    // per-job watchdog uses, now reachable for single runs (nb_run
+    // --timeout without --sweep).
+    EXPECT_THROW(run_scenario_with_timeout(spec, 1e-9), cancelled_error);
+
+    // The thread-local scope is restored: the next plain run is unaffected.
+    EXPECT_EQ(run_scenario(spec).total_beeps, plain.total_beeps);
 }
 
 TEST(RunScenario, E11SpecReproducesLegacyBenchNumbers) {

@@ -1,0 +1,448 @@
+// nb_serve end-to-end robustness tests (serve/server.h): submit round-trips
+// with byte-identical stored artifacts, typed load-shedding at the admission
+// bound, per-job deadlines through the CancelToken chain, transient-fault
+// retry at the server boundary, store faults mid-job, graceful drain (finish
+// in-flight, reject new, hard-cancel stragglers), and the wire-level error
+// contract for malformed requests. The server runs in-process; clients talk
+// to it over its real unix socket.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/json.h"
+#include "scenarios/spec_json.h"
+#include "scenarios/sweep.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "sim/codebook_cache.h"
+
+namespace nb {
+namespace {
+
+std::string scratch(const std::string& leaf) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + info->name() + "." + leaf;
+}
+
+void remove_tree(const std::string& path) {
+    const std::string command = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(command.c_str());
+}
+
+/// The tiny sweep every serve test submits: milliseconds of work, real
+/// noise, deterministic artifact.
+std::string tiny_spec(std::uint64_t seed = 3, std::size_t rounds = 2) {
+    std::ostringstream out;
+    out << R"({"schema":"nb-spec/v1","sweep":"serve-test","scenarios":[{"name":"job",)"
+        << R"("rounds":)" << rounds
+        << R"(,"topology":{"family":"random_regular","n":16,"degree":4,"seed":7},)"
+        << R"("channel":{"kind":"iid","epsilon":0.1},)"
+        << R"("workload":{"message_bits":4,"seed":)" << seed << "}}]}";
+    return out.str();
+}
+
+std::string submit_line(const std::string& spec, const std::string& extra_fields = "") {
+    return "{\"op\":\"submit\"" + extra_fields + ",\"spec\":" + spec + "}";
+}
+
+class ServeTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        if (server_ != nullptr) {
+            server_->request_drain();
+            server_->wait();
+            server_.reset();
+        }
+        failpoint::clear_all();
+        remove_tree(store_dir_);
+        ::unlink(socket_path_.c_str());
+    }
+
+    serve::Server& start(serve::ServerConfig config = {}) {
+        socket_path_ = scratch("sock");
+        store_dir_ = scratch("store");
+        ::unlink(socket_path_.c_str());
+        remove_tree(store_dir_);
+        config.socket_path = socket_path_;
+        config.store_dir = store_dir_;
+        server_ = std::make_unique<serve::Server>(config);
+        server_->start();
+        return *server_;
+    }
+
+    serve::Client connect() {
+        serve::Client client;
+        EXPECT_TRUE(client.connect_wait(socket_path_, 5.0));
+        return client;
+    }
+
+    std::string socket_path_;
+    std::string store_dir_;
+    std::unique_ptr<serve::Server> server_;
+};
+
+/// Field access with hard failure on shape mismatch.
+const JsonValue& member(const JsonValue& value, const char* key) {
+    const JsonValue* found = value.find(key);
+    EXPECT_NE(found, nullptr) << "missing field " << key;
+    return *found;
+}
+
+TEST_F(ServeTest, PingAnswersSchema) {
+    start();
+    serve::Client client = connect();
+    const auto response = client.request(R"({"op":"ping"})");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(*response, "schema").as_string(), "nb-serve/v1");
+}
+
+TEST_F(ServeTest, SubmitExecutesAndStoresByteIdenticalArtifact) {
+    start();
+    serve::Client client = connect();
+    const std::string spec_text = tiny_spec();
+    const auto response =
+        client.request(submit_line(spec_text, R"(,"store_as":"artifact")"));
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(member(*response, "ok").as_bool())
+        << member(*response, "status").as_string();
+    EXPECT_EQ(member(*response, "status").as_string(), "done");
+    EXPECT_EQ(member(*response, "attempts").as_uint64(), 1u);
+    EXPECT_EQ(member(*response, "stored_version").as_uint64(), 1u);
+
+    // The artifact is the canonical nb-sweep/v1 bytes: byte-identical to
+    // running the same spec locally (analytic cache block, no timing).
+    const SweepSpec spec = sweep_spec_from_json(spec_text, "test");
+    const SweepResult local = run_sweep(spec);
+    std::ostringstream expected;
+    JsonWriter json(expected);
+    sweep_results_json(json, local);
+    EXPECT_EQ(member(*response, "artifact").as_string(), expected.str());
+
+    // And the stored object is those same bytes, via the store protocol.
+    const auto stored = client.request(R"({"op":"get","name":"artifact"})");
+    ASSERT_TRUE(stored.has_value());
+    ASSERT_TRUE(member(*stored, "ok").as_bool());
+    EXPECT_EQ(member(*stored, "version").as_uint64(), 1u);
+    EXPECT_EQ(member(*stored, "bytes").as_string(), expected.str());
+}
+
+TEST_F(ServeTest, StoreOpsRoundTripThroughTheWire) {
+    start();
+    serve::Client client = connect();
+    auto response = client.request(R"({"op":"put","name":"obj","bytes":"hello"})");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(*response, "version").as_uint64(), 1u);
+
+    response = client.request(R"({"op":"cput","name":"obj","bytes":"v2","expected":1})");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(member(*response, "ok").as_bool());
+
+    // Stale expectation: typed conflict, not an error.
+    response = client.request(R"({"op":"cput","name":"obj","bytes":"v3","expected":1})");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(*response, "status").as_string(), "conflict");
+
+    response = client.request(R"({"op":"list"})");
+    ASSERT_TRUE(response.has_value());
+    ASSERT_EQ(member(*response, "objects").items().size(), 1u);
+    EXPECT_EQ(member(member(*response, "objects").items()[0], "version").as_uint64(), 2u);
+}
+
+TEST_F(ServeTest, OverloadShedsTypedRejectionsImmediately) {
+    serve::ServerConfig config;
+    config.queue_capacity = 1;
+    config.executors = 1;
+    config.max_retries = 0;
+    start(config);
+
+    // Slow every job down so concurrent submits pile onto the full queue.
+    failpoint::Config slow;
+    slow.mode = failpoint::Mode::delay;
+    slow.delay_ms = 150;
+    failpoint::configure("serve.job", slow);
+
+    constexpr int clients = 6;
+    std::atomic<int> done{0};
+    std::atomic<int> shed{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < clients; ++i) {
+        threads.emplace_back([&] {
+            serve::Client client;
+            ASSERT_TRUE(client.connect_wait(socket_path_, 5.0));
+            const auto response = client.request(submit_line(tiny_spec()));
+            ASSERT_TRUE(response.has_value());
+            if (member(*response, "ok").as_bool()) {
+                done.fetch_add(1);
+            } else if (member(*response, "status").as_string() == "rejected") {
+                EXPECT_EQ(member(*response, "reason").as_string(), "overloaded");
+                shed.fetch_add(1);
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    failpoint::clear("serve.job");
+
+    // With one executor, one queue slot, and 150 ms jobs, six simultaneous
+    // submits cannot all be admitted — and nothing may fall through the
+    // typed done/rejected taxonomy.
+    EXPECT_GE(done.load(), 1);
+    EXPECT_GE(shed.load(), 1);
+    EXPECT_EQ(done.load() + shed.load(), clients);
+    EXPECT_EQ(server_->counters().shed_overloaded,
+              static_cast<std::uint64_t>(shed.load()));
+}
+
+TEST_F(ServeTest, DeadlineSpentInQueueClassifiesAsTimeout) {
+    serve::ServerConfig config;
+    config.max_retries = 3;  // a timeout on a dead token must NOT retry
+    start(config);
+    serve::Client client = connect();
+    // A deadline so small it expires before the executor can pick the job
+    // up: the first poll kills it, classified timeout, zero sweep work.
+    const auto response =
+        client.request(submit_line(tiny_spec(), R"(,"deadline_seconds":1e-9)"));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(*response, "status").as_string(), "error");
+    EXPECT_EQ(member(member(*response, "error"), "kind").as_string(), "timeout");
+    EXPECT_EQ(member(*response, "attempts").as_uint64(), 1u);
+}
+
+TEST_F(ServeTest, TransientFaultIsRetriedWithBackoffAndSucceeds) {
+    serve::ServerConfig config;
+    config.max_retries = 2;
+    config.retry_backoff_ms = 1;
+    start(config);
+
+    failpoint::Config fault;
+    fault.mode = failpoint::Mode::inject_throw;
+    fault.max_hits = 1;  // fail once, then heal — the transient model
+    failpoint::configure("serve.job", fault);
+
+    serve::Client client = connect();
+    const auto response = client.request(submit_line(tiny_spec()));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(*response, "attempts").as_uint64(), 2u);
+    EXPECT_EQ(server_->counters().retries, 1u);
+}
+
+TEST_F(ServeTest, ExhaustedRetriesReportTheClassifiedError) {
+    serve::ServerConfig config;
+    config.max_retries = 1;
+    config.retry_backoff_ms = 1;
+    start(config);
+
+    failpoint::Config fault;
+    fault.mode = failpoint::Mode::inject_throw;  // fires forever
+    failpoint::configure("serve.job", fault);
+
+    serve::Client client = connect();
+    const auto response = client.request(submit_line(tiny_spec()));
+    failpoint::clear("serve.job");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(*response, "attempts").as_uint64(), 2u);  // 1 + max_retries
+    const JsonValue& error = member(*response, "error");
+    EXPECT_EQ(member(error, "kind").as_string(), "transient");
+    EXPECT_EQ(member(error, "site").as_string(), "serve.job");
+}
+
+TEST_F(ServeTest, FatalSpecErrorsAnswerImmediatelyWithoutRetry) {
+    serve::ServerConfig config;
+    config.max_retries = 3;
+    start(config);
+    serve::Client client = connect();
+    // Structurally valid JSON, semantically broken spec (unknown family):
+    // precondition_error → fatal → exactly one attempt.
+    const std::string broken =
+        R"({"schema":"nb-spec/v1","scenarios":[{"name":"x","topology":{"family":"nope"}}]})";
+    const auto response = client.request(submit_line(broken));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(member(*response, "error"), "kind").as_string(), "fatal");
+    EXPECT_EQ(member(*response, "attempts").as_uint64(), 1u);
+}
+
+TEST_F(ServeTest, StorePutOomMidJobIsTransientAndStoreStaysRecoverable) {
+    serve::ServerConfig config;
+    config.max_retries = 0;  // surface the first failure to the client
+    start(config);
+
+    failpoint::Config fault;
+    fault.mode = failpoint::Mode::oom;
+    fault.max_hits = 1;
+    failpoint::configure("store.put", fault);
+
+    serve::Client client = connect();
+    auto response = client.request(submit_line(tiny_spec(), R"(,"store_as":"artifact")"));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(member(*response, "error"), "kind").as_string(), "transient");
+
+    // The failed put published nothing.
+    response = client.request(R"({"op":"get","name":"artifact"})");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(member(*response, "ok").as_bool());
+
+    // Healed: the client-level retry succeeds and the store serves it.
+    response = client.request(submit_line(tiny_spec(), R"(,"store_as":"artifact")"));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(*response, "stored_version").as_uint64(), 1u);
+}
+
+TEST_F(ServeTest, DrainFinishesInFlightAndRejectsNewSubmits) {
+    serve::ServerConfig config;
+    config.executors = 1;
+    config.drain_seconds = 10.0;
+    start(config);
+
+    // First job runs slow enough for the drain to start while it executes.
+    failpoint::Config slow;
+    slow.mode = failpoint::Mode::delay;
+    slow.delay_ms = 300;
+    slow.max_hits = 1;
+    failpoint::configure("serve.job", slow);
+
+    std::optional<JsonValue> in_flight;
+    std::thread submitter([&] {
+        serve::Client client;
+        ASSERT_TRUE(client.connect_wait(socket_path_, 5.0));
+        in_flight = client.request(submit_line(tiny_spec()));
+    });
+    // A second connection opened BEFORE the drain (after it, connect fails
+    // outright — the listener is closed and the socket unlinked).
+    serve::Client late = connect();
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server_->request_drain();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    const auto rejected = late.request(submit_line(tiny_spec()));
+    ASSERT_TRUE(rejected.has_value());
+    EXPECT_FALSE(member(*rejected, "ok").as_bool());
+    EXPECT_EQ(member(*rejected, "status").as_string(), "rejected");
+    EXPECT_EQ(member(*rejected, "reason").as_string(), "draining");
+
+    submitter.join();
+    server_->wait();
+
+    // The in-flight job finished normally inside the grace period.
+    ASSERT_TRUE(in_flight.has_value());
+    EXPECT_TRUE(member(*in_flight, "ok").as_bool());
+    EXPECT_EQ(server_->counters().drain_cancelled, 0u);
+    server_.reset();
+}
+
+TEST_F(ServeTest, DrainDeadlineHardCancelsStragglers) {
+    serve::ServerConfig config;
+    config.drain_seconds = 0.05;
+    config.max_retries = 3;  // a drain cancel must not be retried either
+    start(config);
+
+    // A job long enough to outlive the 50 ms grace period by far: the drain
+    // token must reach its transport polls through the parent chain.
+    std::optional<JsonValue> response;
+    std::thread submitter([&] {
+        serve::Client client;
+        ASSERT_TRUE(client.connect_wait(socket_path_, 5.0));
+        response = client.request(submit_line(tiny_spec(/*seed=*/9, /*rounds=*/2000)));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    server_->request_drain();
+    server_->wait();
+    submitter.join();
+
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(member(*response, "ok").as_bool());
+    EXPECT_EQ(member(member(*response, "error"), "kind").as_string(), "timeout");
+    EXPECT_EQ(member(*response, "attempts").as_uint64(), 1u);
+    EXPECT_GE(server_->counters().drain_cancelled, 1u);
+    server_.reset();
+}
+
+TEST_F(ServeTest, StatsReportConsistentCacheSnapshotAndServerCounters) {
+    start();
+    serve::Client client = connect();
+    ASSERT_TRUE(client.request(submit_line(tiny_spec())).has_value());
+    ASSERT_TRUE(client.request(submit_line(tiny_spec())).has_value());  // cache hit
+
+    const auto response = client.request(R"({"op":"stats"})");
+    ASSERT_TRUE(response.has_value());
+    const JsonValue& cache = member(*response, "cache");
+    // Two identical submits: at least one build and at least one hit, and
+    // hit_rate is consistent with the hits/builds in the SAME snapshot.
+    EXPECT_GE(member(cache, "builds").as_uint64() + member(cache, "hits").as_uint64(), 2u);
+    const double rate = member(cache, "hit_rate").as_double();
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+
+    const JsonValue& server = member(*response, "server");
+    EXPECT_EQ(member(server, "completed").as_uint64(), 2u);
+    EXPECT_EQ(member(server, "submitted").as_uint64(), 2u);
+    EXPECT_EQ(member(server, "queue_capacity").as_uint64(), 16u);
+    EXPECT_FALSE(member(server, "draining").as_bool());
+}
+
+TEST_F(ServeTest, AcceptFailpointDropsTheConnectionBeforeAnyRead) {
+    start();
+    failpoint::Config fault;
+    fault.mode = failpoint::Mode::inject_throw;
+    fault.max_hits = 1;
+    failpoint::configure("serve.accept", fault);
+
+    // The dropped connection: connect() succeeds at the OS level, the first
+    // request observes EOF. Transient by contract — the next connection
+    // works.
+    serve::Client dropped;
+    ASSERT_TRUE(dropped.connect_wait(socket_path_, 5.0));
+    EXPECT_FALSE(dropped.request(R"({"op":"ping"})").has_value());
+
+    serve::Client retry = connect();
+    const auto response = retry.request(R"({"op":"ping"})");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(member(*response, "ok").as_bool());
+}
+
+TEST_F(ServeTest, MalformedRequestsAnswerTypedErrorsNotDisconnects) {
+    start();
+    serve::Client client = connect();
+    for (const char* bad : {
+             "this is not json",
+             R"("a string, not an object")",
+             R"({"no_op":true})",
+             R"({"op":"submit"})",                       // missing spec
+             R"({"op":"submit","spec":{"schema":"x"}})",  // wrong schema
+             R"({"op":"get"})",                           // missing name
+             R"({"op":"warp"})",                          // unknown op
+         }) {
+        SCOPED_TRACE(bad);
+        const auto response = client.request(bad);
+        ASSERT_TRUE(response.has_value());  // still answered, same connection
+        EXPECT_FALSE(member(*response, "ok").as_bool());
+    }
+    // The connection survives the whole gauntlet.
+    const auto ping = client.request(R"({"op":"ping"})");
+    ASSERT_TRUE(ping.has_value());
+    EXPECT_TRUE(member(*ping, "ok").as_bool());
+}
+
+}  // namespace
+}  // namespace nb

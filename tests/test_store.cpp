@@ -1,0 +1,293 @@
+// ArtifactStore tests (serve/store.h): versioned puts, cput semantics and
+// the two-writer race, and the crash-safety property the store exists for —
+// recovery from temp debris and from finals truncated at EVERY byte
+// boundary always lands on the last complete version, never a torn one.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "scenarios/sweep.h"
+#include "serve/store.h"
+
+namespace nb {
+namespace {
+
+std::string scratch(const std::string& leaf) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + info->name() + "." + leaf;
+}
+
+void remove_tree(const std::string& dir) {
+    // Test scratch directories are flat; remove files then the directory.
+    const std::string command = "rm -rf '" + dir + "'";
+    [[maybe_unused]] const int rc = std::system(command.c_str());
+}
+
+std::string read_file(const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        return {};
+    }
+    std::string text;
+    char buffer[1 << 12];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+        text.append(buffer, got);
+    }
+    std::fclose(file);
+    return text;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr) << path;
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), file), text.size());
+    std::fclose(file);
+}
+
+class StoreTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        failpoint::clear_all();
+        if (!dir_.empty()) {
+            remove_tree(dir_);
+        }
+    }
+
+    std::string fresh_dir(const std::string& leaf) {
+        dir_ = scratch(leaf);
+        remove_tree(dir_);
+        return dir_;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(StoreTest, PutGetRoundTripsAndVersionsAreMonotonic) {
+    ArtifactStore store(fresh_dir("roundtrip"));
+    EXPECT_EQ(store.put("result", "alpha"), 1u);
+    EXPECT_EQ(store.put("result", "beta"), 2u);
+    EXPECT_EQ(store.put("other", ""), 1u);  // empty payloads are valid
+
+    const auto latest = store.get("result");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->version, 2u);
+    EXPECT_EQ(latest->bytes, "beta");
+
+    // History is retained: the superseded version is still readable.
+    const auto v1 = store.get("result", 1);
+    ASSERT_TRUE(v1.has_value());
+    EXPECT_EQ(v1->bytes, "alpha");
+
+    const auto empty = store.get("other");
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_EQ(empty->bytes, "");
+
+    EXPECT_FALSE(store.get("missing").has_value());
+    EXPECT_FALSE(store.get("result", 3).has_value());
+
+    const auto entries = store.list();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].name, "other");
+    EXPECT_EQ(entries[1].name, "result");
+    EXPECT_EQ(entries[1].latest_version, 2u);
+    EXPECT_EQ(entries[1].bytes, 4u);
+}
+
+TEST_F(StoreTest, RejectsInvalidNames) {
+    ArtifactStore store(fresh_dir("names"));
+    EXPECT_THROW(store.put("", "x"), precondition_error);
+    EXPECT_THROW(store.put("../escape", "x"), precondition_error);
+    EXPECT_THROW(store.put("a/b", "x"), precondition_error);
+    EXPECT_THROW(store.put(".hidden", "x"), precondition_error);
+    EXPECT_THROW(store.put(std::string(300, 'a'), "x"), precondition_error);
+    EXPECT_EQ(store.put("ok-name_1.json", "x"), 1u);
+}
+
+TEST_F(StoreTest, VersionsSurviveReopen) {
+    const std::string dir = fresh_dir("reopen");
+    {
+        ArtifactStore store(dir);
+        store.put("result", "v1");
+        store.put("result", "v2");
+    }
+    ArtifactStore reopened(dir);
+    const auto latest = reopened.get("result");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->version, 2u);
+    EXPECT_EQ(latest->bytes, "v2");
+    // Monotonic across restarts: the next put does not reuse version 3... 2.
+    EXPECT_EQ(reopened.put("result", "v3"), 3u);
+}
+
+TEST_F(StoreTest, CputPublishesOnlyOnMatchingVersion) {
+    ArtifactStore store(fresh_dir("cput"));
+    // expected=0 means "must not exist".
+    EXPECT_EQ(store.cput("obj", "first", 0), std::optional<std::uint64_t>(1));
+    EXPECT_EQ(store.cput("obj", "dup", 0), std::nullopt);
+    // Normal compare-and-put chain.
+    EXPECT_EQ(store.cput("obj", "second", 1), std::optional<std::uint64_t>(2));
+    EXPECT_EQ(store.cput("obj", "stale", 1), std::nullopt);
+    const auto latest = store.get("obj");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->bytes, "second");
+}
+
+TEST_F(StoreTest, CputRaceHasExactlyOneWinner) {
+    ArtifactStore store(fresh_dir("race"));
+    store.put("contended", "base");  // version 1
+
+    std::atomic<int> ready{0};
+    std::atomic<int> winners{0};
+    std::vector<std::thread> writers;
+    for (int i = 0; i < 2; ++i) {
+        writers.emplace_back([&, i] {
+            // Barrier so both writers observe version 1 before either puts.
+            ready.fetch_add(1);
+            while (ready.load() < 2) {
+            }
+            if (store.cput("contended", "writer-" + std::to_string(i), 1).has_value()) {
+                winners.fetch_add(1);
+            }
+        });
+    }
+    for (auto& writer : writers) {
+        writer.join();
+    }
+    EXPECT_EQ(winners.load(), 1);
+    const auto latest = store.get("contended");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->version, 2u);
+}
+
+TEST_F(StoreTest, RecoveryDeletesTempDebris) {
+    const std::string dir = fresh_dir("debris");
+    {
+        ArtifactStore store(dir);
+        store.put("result", "good");
+    }
+    // What a crash between fsync and rename leaves behind.
+    write_file(dir + "/result.v2.tmp", "half-written");
+    write_file(dir + "/unrelated.v1.tmp", "junk");
+
+    ArtifactStore recovered(dir);
+    EXPECT_EQ(read_file(dir + "/result.v2.tmp"), "");
+    EXPECT_EQ(read_file(dir + "/unrelated.v1.tmp"), "");
+    const auto latest = recovered.get("result");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->version, 1u);
+    EXPECT_EQ(latest->bytes, "good");
+    // The unpublished version number is reused — it never existed.
+    EXPECT_EQ(recovered.put("result", "next"), 2u);
+}
+
+// The crash-safety property: truncate the NEWEST version's file at every
+// byte boundary (including zero) and reopen. Whatever the cut point, the
+// store must recover to the last complete version — the torn file is
+// deleted, never served, and the older version is intact.
+TEST_F(StoreTest, TruncationAtEveryByteBoundaryRecoversToLastCompleteVersion) {
+    const std::string dir = fresh_dir("torn");
+    std::string full;
+    {
+        ArtifactStore store(dir);
+        store.put("result", "the first complete version");
+        store.put("result", "the second version, about to be torn");
+        full = read_file(dir + "/result.v2");
+        ASSERT_FALSE(full.empty());
+    }
+
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        write_file(dir + "/result.v2", full.substr(0, cut));
+        ArtifactStore recovered(dir);
+        const auto latest = recovered.get("result");
+        ASSERT_TRUE(latest.has_value()) << "cut=" << cut;
+        EXPECT_EQ(latest->version, 1u) << "cut=" << cut;
+        EXPECT_EQ(latest->bytes, "the first complete version") << "cut=" << cut;
+        // The torn file is gone, not just ignored.
+        EXPECT_EQ(read_file(dir + "/result.v2"), "") << "cut=" << cut;
+    }
+
+    // The untruncated file survives recovery unchanged.
+    write_file(dir + "/result.v2", full);
+    ArtifactStore recovered(dir);
+    const auto latest = recovered.get("result");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->version, 2u);
+}
+
+TEST_F(StoreTest, CorruptPayloadFailsTheChecksumAndIsDeleted) {
+    const std::string dir = fresh_dir("checksum");
+    {
+        ArtifactStore store(dir);
+        store.put("result", "payload-bytes");
+    }
+    std::string text = read_file(dir + "/result.v1");
+    ASSERT_FALSE(text.empty());
+    text.back() = text.back() == 'x' ? 'y' : 'x';  // same length, wrong bytes
+    write_file(dir + "/result.v1", text);
+
+    ArtifactStore recovered(dir);
+    EXPECT_FALSE(recovered.get("result").has_value());
+    EXPECT_EQ(read_file(dir + "/result.v1"), "");
+}
+
+// The store.put failpoint fires in the durable-but-unpublished window. The
+// put must fail cleanly (bad_alloc → classified transient by the serve
+// boundary), leave no debris behind the RAII guard, keep the store fully
+// usable, and a reopened store must recover to the last published version.
+TEST_F(StoreTest, InjectedOomMidPutLeavesStoreRecoverable) {
+    const std::string dir = fresh_dir("oom");
+    {
+        ArtifactStore store(dir);
+        store.put("result", "published");
+
+        failpoint::Config config;
+        config.mode = failpoint::Mode::oom;
+        config.max_hits = 1;
+        failpoint::configure("store.put", config);
+        EXPECT_THROW(store.put("result", "never-published"), std::bad_alloc);
+
+        // The fault is classified transient — exactly what the serve
+        // executor's retry boundary needs.
+        try {
+            failpoint::Config again;
+            again.mode = failpoint::Mode::oom;
+            again.max_hits = 1;
+            failpoint::configure("store.put", again);
+            store.put("result", "never-published");
+            FAIL() << "second injected put should have thrown";
+        } catch (...) {
+            const JobError error = classify_job_error(std::current_exception());
+            EXPECT_EQ(error.kind, "transient");
+        }
+
+        // In-process state is untouched: same version, same bytes, and the
+        // healed put continues the version chain.
+        const auto latest = store.get("result");
+        ASSERT_TRUE(latest.has_value());
+        EXPECT_EQ(latest->version, 1u);
+        EXPECT_EQ(latest->bytes, "published");
+        EXPECT_EQ(store.put("result", "after-heal"), 2u);
+    }
+
+    // No temp debris; recovery sees only complete versions.
+    ArtifactStore recovered(dir);
+    const auto latest = recovered.get("result");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->version, 2u);
+    EXPECT_EQ(latest->bytes, "after-heal");
+}
+
+}  // namespace
+}  // namespace nb
