@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <limits>
 
@@ -53,10 +54,14 @@ const std::string& JsonValue::raw_number() const {
 
 double JsonValue::as_double() const {
     const std::string& raw = raw_number();
-    errno = 0;
-    char* end = nullptr;
-    const double value = std::strtod(raw.c_str(), &end);
-    require(end == raw.c_str() + raw.size() && errno != ERANGE,
+    // std::from_chars, not strtod: strtod honors LC_NUMERIC, so under a
+    // comma-decimal locale (de_DE et al.) it stops parsing "0.25" at the
+    // '.' — a host application calling setlocale() would silently truncate
+    // every fractional JSON number. from_chars is locale-independent by
+    // specification.
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), value);
+    require(ptr == raw.data() + raw.size() && ec == std::errc{},
             "JSON: number '" + raw + "' is not a finite double");
     return value;
 }

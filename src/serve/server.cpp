@@ -111,6 +111,11 @@ Server::~Server() {
 
 void Server::start() {
     require(!started_, "serve: already started");
+    if (!config_.codebook_dir.empty()) {
+        // Warm cold-start: every codebook this process's predecessor built
+        // against this directory is an mmap away instead of a rebuild.
+        CodebookCache::instance().set_directory(config_.codebook_dir);
+    }
     store_ = std::make_unique<ArtifactStore>(config_.store_dir);
     require(::pipe(wake_pipe_) == 0, "serve: cannot create the wake pipe");
     listen_fd_ = listen_unix(config_.socket_path, /*backlog=*/64);
@@ -364,6 +369,8 @@ std::string Server::handle_request(const std::string& line) {
             json.kv("hits", cache.hits);
             json.kv("builds", cache.builds);
             json.kv("evictions", cache.evictions + cache.evictions_capacity);
+            json.kv("disk_loads", cache.disk_loads);
+            json.kv("disk_saves", cache.disk_saves);
             json.kv("bytes_resident", static_cast<std::uint64_t>(cache.bytes_resident));
             json.kv("hit_rate", cache.hit_rate());
             json.end_object();
@@ -567,10 +574,27 @@ std::string Server::run_job_attempts(Job& job) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++counters_.retries;
             }
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                std::min(backoff_ms, config_.retry_backoff_cap_ms)));
-            backoff_ms = std::min(backoff_ms * 2, config_.retry_backoff_cap_ms);
-            continue;
+            // Cancellable backoff: a monolithic sleep_for would hold this
+            // executor hostage for the full backoff even after the drain
+            // deadline hard-cancels the job — with the cap at seconds-scale
+            // that blows straight through the drain grace period. Sleep in
+            // small slices, polling the token, and on wake-by-cancel fall
+            // through to the failure path instead of burning an attempt.
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(std::min(backoff_ms, config_.retry_backoff_cap_ms));
+            while (!job.token.cancelled()) {
+                const auto now = std::chrono::steady_clock::now();
+                if (now >= deadline) {
+                    break;
+                }
+                std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+                    deadline - now, std::chrono::milliseconds(5)));
+            }
+            if (!job.token.cancelled()) {
+                backoff_ms = std::min(backoff_ms * 2, config_.retry_backoff_cap_ms);
+                continue;
+            }
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);

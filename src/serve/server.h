@@ -85,6 +85,12 @@ struct ServerConfig {
 
     /// Per-request line bound (wire.h); a client exceeding it is cut off.
     std::size_t max_request_bytes = 8u << 20;
+
+    /// Warm-start directory for the process-wide CodebookCache (empty =
+    /// disabled): serialized nb-codebook/v1 indexes are mmap-loaded on a
+    /// cache miss and saved after a build, so a restarted server skips the
+    /// expensive dictionary constructions its predecessor already paid for.
+    std::string codebook_dir;
 };
 
 /// Monotonic server counters, serialized by the `stats` op.

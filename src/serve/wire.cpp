@@ -102,15 +102,30 @@ bool LineReader::read_line(std::string& out, std::size_t max_bytes) {
         return false;
     }
     for (;;) {
-        const std::size_t newline = buffer_.find('\n');
+        // Consume via an offset cursor instead of erase(0, newline + 1):
+        // erasing the front memmoves the whole remainder per line, which is
+        // O(bytes^2) across a pipelined batch of submissions (a client
+        // writing k lines in one burst paid ~k*bytes of memmove before this
+        // returned them all). The cursor makes each line O(its own length);
+        // the buffer is compacted only when fully drained (the common case
+        // between bursts) or before growing it with another recv.
+        const std::size_t newline = buffer_.find('\n', offset_);
         if (newline != std::string::npos) {
-            if (newline > max_bytes) {
+            if (newline - offset_ > max_bytes) {
                 failed_ = true;
                 return false;
             }
-            out.assign(buffer_, 0, newline);
-            buffer_.erase(0, newline + 1);
+            out.assign(buffer_, offset_, newline - offset_);
+            offset_ = newline + 1;
+            if (offset_ == buffer_.size()) {
+                buffer_.clear();
+                offset_ = 0;
+            }
             return true;
+        }
+        if (offset_ != 0) {
+            buffer_.erase(0, offset_);
+            offset_ = 0;
         }
         if (buffer_.size() > max_bytes) {
             failed_ = true;  // unbounded line: cut the peer off

@@ -45,6 +45,7 @@ public:
 private:
     int fd_;
     std::string buffer_;
+    std::size_t offset_ = 0;  ///< consumed prefix of buffer_ (see read_line)
     bool failed_ = false;
 };
 

@@ -45,6 +45,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -64,6 +65,15 @@ public:
     SharedCodebook(const Graph& graph, const SimulationParams& params,
                    Codebook::ShardView view)
         : graph_(graph), codebook_(graph_, params, std::move(view)) {}
+
+    /// Mmap-backed builds (sim/codebook_io.h): the candidate index is
+    /// borrowed from the mapped file, which the codebook keeps alive.
+    SharedCodebook(const Graph& graph, const SimulationParams& params,
+                   std::shared_ptr<const CodebookFile> file)
+        : graph_(graph), codebook_(graph_, params, std::move(file)) {}
+    SharedCodebook(const Graph& graph, const SimulationParams& params,
+                   Codebook::ShardView view, std::shared_ptr<const CodebookFile> file)
+        : graph_(graph), codebook_(graph_, params, std::move(view), std::move(file)) {}
 
     const Codebook& codebook() const noexcept { return codebook_; }
     const Graph& graph() const noexcept { return graph_; }
@@ -112,6 +122,18 @@ public:
     /// expensive per-transport setup), as a copy the caller owns.
     std::vector<std::size_t> coloring(const Graph& graph);
 
+    /// Enable (or, with "", disable) the warm-start directory: every miss
+    /// first tries to mmap-load `<dir>/cb-<key-hash>.nbc` (counted as a
+    /// disk_load, not a build), and every completed build is serialized
+    /// there best-effort (nb-codebook/v1, atomic-rename durable), so the
+    /// next process cold-starts warm. The directory is created if missing
+    /// and `.tmp` debris from a crashed writer is removed, mirroring the
+    /// ArtifactStore's recovery. Files whose identity header does not match
+    /// the key (stale graph, hash collision) are ignored and overwritten by
+    /// the fresh build's save.
+    void set_directory(const std::string& directory);
+    std::string directory() const;
+
     struct Stats {
         std::uint64_t hits = 0;       ///< codebook lookups served from cache
         std::uint64_t builds = 0;     ///< *successful* Codebook constructions
@@ -121,16 +143,19 @@ public:
         std::uint64_t evictions_capacity = 0;  ///< codebooks dropped by the byte cap
         std::uint64_t bytes_resident = 0;      ///< byte-accounted footprint now cached
         std::uint64_t oversize_uncached = 0;   ///< builds too large to cache at all
+        std::uint64_t disk_loads = 0;   ///< misses served by an mmap-loaded file
+        std::uint64_t disk_saves = 0;   ///< builds serialized to the directory
         std::uint64_t coloring_hits = 0;
         std::uint64_t coloring_builds = 0;
         std::uint64_t coloring_evictions = 0;
 
-        /// hits / (hits + builds), 0 when nothing has been looked up — the
-        /// one derived figure every consumer (nb_serve's `stats` response,
-        /// nb_load's BENCH_serve.json, the bench console reports) wants, so
-        /// it is computed here once instead of ad-hoc at each call site.
+        /// hits / lookups (a disk load is a lookup that was neither a hit
+        /// nor a build), 0 when nothing has been looked up — the one derived
+        /// figure every consumer (nb_serve's `stats` response, nb_load's
+        /// BENCH_serve.json, the bench console reports) wants, so it is
+        /// computed here once instead of ad-hoc at each call site.
         double hit_rate() const noexcept {
-            const std::uint64_t lookups = hits + builds;
+            const std::uint64_t lookups = hits + builds + disk_loads;
             return lookups == 0 ? 0.0
                                 : static_cast<double>(hits) / static_cast<double>(lookups);
         }
@@ -200,6 +225,8 @@ private:
         std::uint64_t evictions = 0;
         std::uint64_t evictions_capacity = 0;
         std::uint64_t oversize_uncached = 0;
+        std::uint64_t disk_loads = 0;
+        std::uint64_t disk_saves = 0;
     };
 
     /// A coloring entry is keyed by the digest pair — no graph copy.
@@ -225,6 +252,9 @@ private:
     std::size_t shard_capacity_;
     std::size_t shard_byte_cap_;  ///< max_bytes / shard_count; 0 = unlimited
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex directory_mutex_;
+    std::string directory_;  ///< warm-start dir; empty = disk path disabled
 
     mutable std::mutex coloring_mutex_;
     std::list<ColoringEntry> colorings_;  ///< most recently used first

@@ -1,0 +1,349 @@
+// Property tests for the codebook's three construction paths (DESIGN.md
+// section 12): serialize -> mmap-load and delta builds must both be
+// fingerprint-identical to a fresh build (for every shipped registry spec
+// and for targeted graph edits), a file truncated at EVERY byte boundary
+// must be rejected rather than half-adopted (mirroring test_store.cpp's
+// torn-final property), and a warm directory must serve a second process's
+// cold start from disk with zero rebuilds.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "graph/generators.h"
+#include "scenarios/registry.h"
+#include "sim/codebook.h"
+#include "sim/codebook_cache.h"
+#include "sim/codebook_io.h"
+#include "sim/transport.h"
+
+namespace nb {
+namespace {
+
+std::string scratch(const std::string& leaf) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + info->name() + "." + leaf;
+}
+
+void remove_tree(const std::string& dir) {
+    const std::string command = "rm -rf '" + dir + "'";
+    [[maybe_unused]] const int rc = std::system(command.c_str());
+}
+
+std::string read_file(const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        return {};
+    }
+    std::string text;
+    char buffer[1 << 12];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+        text.append(buffer, got);
+    }
+    std::fclose(file);
+    return text;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr) << path;
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), file), text.size());
+    std::fclose(file);
+}
+
+SimulationParams small_params() {
+    SimulationParams params;
+    params.message_bits = 8;
+    params.c_eps = 4;
+    params.decoy_count = 4;
+    return params;
+}
+
+std::vector<std::optional<Bitstring>> random_messages(const Graph& graph,
+                                                      std::size_t message_bits,
+                                                      std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::optional<Bitstring>> messages(graph.node_count());
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+        messages[v] = Bitstring::random(rng, message_bits);
+    }
+    return messages;
+}
+
+TEST(CodebookIoProperty, MmapLoadIsFingerprintIdenticalForEveryShippedSpec) {
+    const std::string path = scratch("spec.nbc");
+    for (const auto& spec : scenarios::shipped_scenarios()) {
+        if (spec.transport == TransportKind::tdma) {
+            continue;  // the baseline has no codebook to serialize
+        }
+        SCOPED_TRACE(spec.name);
+        const Graph graph = spec.topology.build();
+        const SimulationParams params = CodebookCache::canonical_params(spec.sim_params());
+        const Codebook fresh(graph, params);
+
+        save_codebook(fresh, path);
+        std::string error;
+        const auto file = CodebookFile::map(path, &error);
+        ASSERT_NE(file, nullptr) << error;
+        EXPECT_EQ(file->header().fingerprint, fresh.fingerprint());
+
+        const Codebook loaded(graph, params, file);
+        EXPECT_EQ(loaded.fingerprint(), fresh.fingerprint());
+        EXPECT_EQ(loaded.backing_file(), file.get());
+        EXPECT_EQ(loaded.memory_bytes(), fresh.memory_bytes());
+    }
+    ::unlink(path.c_str());
+}
+
+TEST(CodebookIoProperty, TruncationAtEveryByteBoundaryIsRejected) {
+    const std::string path = scratch("full.nbc");
+    const std::string torn_path = scratch("torn.nbc");
+    Rng rng(0x10);
+    const Graph graph = make_random_regular(24, 4, rng);
+    const Codebook fresh(graph, small_params());
+    save_codebook(fresh, path);
+
+    const std::string full = read_file(path);
+    ASSERT_FALSE(full.empty());
+    ASSERT_NE(CodebookFile::map(path), nullptr) << "untruncated file must load";
+
+    for (std::size_t keep = 0; keep < full.size(); ++keep) {
+        write_file(torn_path, full.substr(0, keep));
+        EXPECT_EQ(CodebookFile::map(torn_path), nullptr) << "accepted at byte " << keep;
+    }
+    // Trailing garbage is torn-in-reverse: the exact-size check rejects it.
+    write_file(torn_path, full + "x");
+    EXPECT_EQ(CodebookFile::map(torn_path), nullptr);
+    // A payload bit flip survives the size check and dies on the checksum.
+    std::string corrupt = full;
+    corrupt[full.size() - 1] ^= 1;
+    write_file(torn_path, corrupt);
+    EXPECT_EQ(CodebookFile::map(torn_path), nullptr);
+
+    ::unlink(path.c_str());
+    ::unlink(torn_path.c_str());
+}
+
+TEST(CodebookIoProperty, MmapAdoptionRejectsMismatchedGraphAndParams) {
+    const std::string path = scratch("identity.nbc");
+    Rng rng(0x11);
+    const Graph graph = make_random_regular(24, 4, rng);
+    const SimulationParams params = small_params();
+    const Codebook fresh(graph, params);
+    save_codebook(fresh, path);
+    const auto file = CodebookFile::map(path);
+    ASSERT_NE(file, nullptr);
+
+    Rng rng2(0x12);
+    const Graph other = make_random_regular(24, 4, rng2);
+    EXPECT_THROW(Codebook(other, params, file), precondition_error);
+
+    SimulationParams other_params = params;
+    other_params.transport_seed += 1;
+    EXPECT_THROW(Codebook(graph, other_params, file), precondition_error);
+
+    // The fields canonical_params normalizes away are NOT identity: a
+    // different epsilon adopts the same file.
+    SimulationParams non_key = params;
+    non_key.epsilon = 0.25;
+    const Codebook adopted(graph, non_key, file);
+    EXPECT_EQ(adopted.fingerprint(), fresh.fingerprint());
+    ::unlink(path.c_str());
+}
+
+TEST(CodebookDeltaProperty, GraphEditsAreFingerprintIdenticalAndReuseRows) {
+    Rng rng(0x21);
+    const std::size_t n = 96;
+    const Graph base_graph = make_random_regular(n, 6, rng);
+    const SimulationParams params = small_params();
+    const Codebook base(base_graph, params);
+    const std::vector<Edge> base_edges = base_graph.edges();
+
+    struct Case {
+        const char* name;
+        std::size_t node_count;
+        std::vector<Edge> edges;
+    };
+    std::vector<Case> cases;
+    {
+        // Add one node wired to three existing nodes.
+        std::vector<Edge> edges = base_edges;
+        edges.push_back(Edge{3, static_cast<NodeId>(n)});
+        edges.push_back(Edge{40, static_cast<NodeId>(n)});
+        edges.push_back(Edge{77, static_cast<NodeId>(n)});
+        cases.push_back({"add-node", n + 1, std::move(edges)});
+    }
+    {
+        // Remove a node, modeled as isolating it (node ids are stable).
+        std::vector<Edge> edges;
+        for (const Edge& e : base_edges) {
+            if (e.first != 17 && e.second != 17) {
+                edges.push_back(e);
+            }
+        }
+        cases.push_back({"isolate-node", n, std::move(edges)});
+    }
+    {
+        // Rewire: drop one edge, add a currently-absent one elsewhere.
+        std::vector<Edge> edges = base_edges;
+        edges.erase(edges.begin());
+        const auto present = [&edges](NodeId a, NodeId b) {
+            for (const Edge& e : edges) {
+                if ((e.first == a && e.second == b) || (e.first == b && e.second == a)) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        NodeId b = 60;
+        while (present(5, b) || b == 5) {
+            ++b;
+        }
+        edges.push_back(Edge{5, b});
+        cases.push_back({"edge-edit", n, std::move(edges)});
+    }
+
+    for (const Case& c : cases) {
+        SCOPED_TRACE(c.name);
+        const Graph edited = Graph::from_edges(c.node_count, c.edges);
+        const Codebook fresh(edited, params);
+        const Codebook delta(edited, params, base);
+
+        EXPECT_EQ(delta.fingerprint(), fresh.fingerprint());
+        const Codebook::Stats stats = delta.stats();
+        EXPECT_GT(stats.dictionary_rows_reused, 0u) << "delta degraded to a full rebuild";
+        EXPECT_EQ(stats.dictionary_rows_built + stats.dictionary_rows_reused,
+                  edited.node_count());
+        EXPECT_EQ(stats.delta_full_rebuilds, 0u);
+        // The code triple is shared exactly when the beep-code geometry is
+        // unchanged — i.e. when the edit kept the max degree (isolate-node
+        // here; the add/rewire cases push a regular graph's degree up).
+        const bool same_geometry =
+            params.beep_code_length(edited.max_degree()) ==
+            params.beep_code_length(base_graph.max_degree());
+        EXPECT_EQ(stats.code_builds, same_geometry ? 0u : 1u);
+    }
+
+    // Shrinking the node count falls back (entry ids renumber under rows)
+    // but still lands on the fresh fingerprint.
+    const Graph shrunk = make_random_regular(n / 2, 6, rng);
+    const Codebook fresh_shrunk(shrunk, params);
+    const Codebook delta_shrunk(shrunk, params, base);
+    EXPECT_EQ(delta_shrunk.fingerprint(), fresh_shrunk.fingerprint());
+    EXPECT_EQ(delta_shrunk.stats().delta_full_rebuilds, 1u);
+}
+
+TEST(CodebookDeltaProperty, SameNonceRoundReuseIsBitIdentical) {
+    Rng rng(0x31);
+    const std::size_t n = 64;
+    const Graph graph = make_random_regular(n, 6, rng);
+    const SimulationParams params = small_params();
+    const Codebook book(graph, params);
+
+    const auto messages_a = random_messages(graph, params.message_bits, 1);
+    auto messages_b = messages_a;
+    messages_b[10] = Bitstring::random(rng, params.message_bits);  // one changed
+    messages_b[11].reset();                                        // one went silent
+
+    const std::uint64_t nonce = 7;
+    (void)book.round(messages_a, nonce);
+    const std::size_t codewords_after_first = book.stats().codeword_builds;
+    const auto reused = book.round(messages_b, nonce);
+
+    // Reference: a codebook that never saw messages_a.
+    const Codebook fresh(graph, params);
+    const auto reference = fresh.round(messages_b, nonce);
+
+    ASSERT_EQ(reused->codewords.size(), reference->codewords.size());
+    for (std::size_t v = 0; v < reference->codewords.size(); ++v) {
+        EXPECT_EQ(reused->codewords[v], reference->codewords[v]) << "codeword " << v;
+        EXPECT_EQ(reused->one_positions[v], reference->one_positions[v]);
+    }
+    EXPECT_EQ(reused->inputs, reference->inputs);
+    EXPECT_EQ(reused->decoy_inputs, reference->decoy_inputs);
+    EXPECT_EQ(reused->candidate_messages, reference->candidate_messages);
+    EXPECT_EQ(reused->candidate_encoded, reference->candidate_encoded);
+    EXPECT_EQ(reused->candidate_tails, reference->candidate_tails);
+    EXPECT_EQ(reused->combined_schedules, reference->combined_schedules);
+    EXPECT_EQ(reused->phase1_beeps, reference->phase1_beeps);
+    EXPECT_EQ(reused->phase2_beeps, reference->phase2_beeps);
+
+    // Every codeword is a pure function of (seed, nonce, id): the rebuild
+    // under the same nonce copied them all instead of regenerating.
+    const Codebook::Stats stats = book.stats();
+    EXPECT_EQ(stats.codeword_builds, codewords_after_first);
+    EXPECT_GT(stats.codeword_reuses, 0u);
+    EXPECT_GT(stats.payload_encode_reuses, 0u);
+}
+
+TEST(CodebookWarmStart, SecondCacheColdStartsFromDiskWithZeroBuilds) {
+    const std::string dir = scratch("warmdir");
+    remove_tree(dir);
+    Rng rng(0x41);
+    const Graph graph = make_random_regular(48, 6, rng);
+    const SimulationParams params = small_params();
+
+    // First "process": builds once and persists.
+    CodebookCache first(2, 4);
+    first.set_directory(dir);
+    const auto built = first.acquire(graph, params);
+    const CodebookCache::Stats cold = first.stats();
+    EXPECT_EQ(cold.builds, 1u);
+    EXPECT_EQ(cold.disk_loads, 0u);
+    EXPECT_EQ(cold.disk_saves, 1u);
+
+    // Second "process": same directory, zero builds — and the loaded
+    // codebook is bit-identical to the built one.
+    CodebookCache second(2, 4);
+    second.set_directory(dir);
+    const auto loaded = second.acquire(graph, params);
+    const CodebookCache::Stats warm = second.stats();
+    EXPECT_EQ(warm.builds, 0u);
+    EXPECT_EQ(warm.disk_loads, 1u);
+    EXPECT_EQ(loaded->codebook().fingerprint(), built->codebook().fingerprint());
+    ASSERT_NE(loaded->codebook().backing_file(), nullptr);
+
+    // `.tmp` debris from a crashed saver is swept on set_directory.
+    write_file(dir + "/cb-dead.nbc.tmp", "half a write");
+    CodebookCache third(2, 4);
+    third.set_directory(dir);
+    EXPECT_NE(::access((dir + "/cb-dead.nbc.tmp").c_str(), F_OK), 0);
+    remove_tree(dir);
+}
+
+TEST(CodebookWarmStart, TransportThroughMmapLoadedCodebookDecodesIdentically) {
+    const std::string dir = scratch("warmdir");
+    remove_tree(dir);
+    Rng rng(0x51);
+    const Graph graph = make_random_regular(32, 4, rng);
+    SimulationParams params = small_params();
+    params.epsilon = 0.2;
+    params.shared_codebook = false;
+    const BeepTransport reference(graph, params);
+    const auto messages = random_messages(graph, params.message_bits, 3);
+
+    // Save the reference's codebook, then derive a round through a codebook
+    // adopted from the mapped file: all round material must match exactly.
+    ::mkdir(dir.c_str(), 0755);
+    save_codebook(reference.codebook(), dir + "/cb.nbc");
+    const auto file = CodebookFile::map(dir + "/cb.nbc");
+    ASSERT_NE(file, nullptr);
+    const Codebook loaded(graph, CodebookCache::canonical_params(params), file);
+    EXPECT_EQ(loaded.fingerprint(), reference.codebook().fingerprint());
+    const auto round_fresh = reference.codebook().round(messages, 1);
+    const auto round_loaded = loaded.round(messages, 1);
+    EXPECT_EQ(round_fresh->codewords, round_loaded->codewords);
+    EXPECT_EQ(round_fresh->candidate_encoded, round_loaded->candidate_encoded);
+    remove_tree(dir);
+}
+
+}  // namespace
+}  // namespace nb

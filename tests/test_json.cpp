@@ -4,12 +4,15 @@
 // digits that strtod back to exactly the same double.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdlib>
 #include <limits>
 #include <sstream>
 #include <string>
 
+#include "common/error.h"
 #include "common/json.h"
+#include "common/json_parse.h"
 
 namespace nb {
 namespace {
@@ -79,6 +82,48 @@ TEST(JsonDoubles, EveryFormattedValueRoundTripsExactly) {
         EXPECT_EQ(*end, '\0') << text;
         EXPECT_EQ(parsed, value) << text;  // bit-exact round trip
     }
+}
+
+/// Restores the process LC_NUMERIC on scope exit, so an assertion failure
+/// inside the locale test cannot leak a comma-decimal locale into every
+/// later test in the same process.
+class ScopedNumericLocale {
+public:
+    ScopedNumericLocale() : saved_(std::setlocale(LC_NUMERIC, nullptr)) {}
+    ~ScopedNumericLocale() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+    ScopedNumericLocale(const ScopedNumericLocale&) = delete;
+    ScopedNumericLocale& operator=(const ScopedNumericLocale&) = delete;
+
+private:
+    std::string saved_;
+};
+
+TEST(JsonDoubles, ParsingIsLocaleIndependent) {
+    // Regression test: as_double used strtod, which honors LC_NUMERIC — a
+    // host application that had called setlocale() with a comma-decimal
+    // locale got every fractional JSON number silently truncated at the
+    // '.' ("0.25" -> parse error or 0.0). as_double now uses
+    // std::from_chars, which is locale-independent by specification.
+    ScopedNumericLocale restore;
+    const char* locale_set = nullptr;
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+        if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+            locale_set = name;
+            break;
+        }
+    }
+    if (locale_set == nullptr) {
+        GTEST_SKIP() << "no comma-decimal locale installed on this machine";
+    }
+    // Sanity: under this locale the libc parser really does use ','.
+    ASSERT_EQ(std::strtod("0,5", nullptr), 0.5) << locale_set;
+
+    const JsonValue doc = JsonValue::parse(R"({"x":0.25,"y":-1.5e-3,"n":7})");
+    EXPECT_EQ(doc.find("x")->as_double(), 0.25);
+    EXPECT_EQ(doc.find("y")->as_double(), -1.5e-3);
+    EXPECT_EQ(doc.find("n")->as_uint64(), 7u);
+    // Malformed numbers still fail cleanly under the foreign locale.
+    EXPECT_THROW(JsonValue::parse(R"({"x":0,25})"), precondition_error);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // to it over its real unix socket.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -25,6 +26,7 @@
 #include "scenarios/sweep.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "serve/wire.h"
 #include "sim/codebook_cache.h"
 
 namespace nb {
@@ -375,6 +377,143 @@ TEST_F(ServeTest, DrainDeadlineHardCancelsStragglers) {
     EXPECT_EQ(member(member(*response, "error"), "kind").as_string(), "timeout");
     EXPECT_EQ(member(*response, "attempts").as_uint64(), 1u);
     EXPECT_GE(server_->counters().drain_cancelled, 1u);
+    server_.reset();
+}
+
+TEST(LineReaderWire, PipelinedBurstReturnsEveryLineInOrder) {
+    // A client may write many frames in one burst; the reader must hand
+    // them back one by one without re-scanning or memmoving the remainder
+    // per line (the erase-per-line implementation was O(bytes^2) here).
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    const std::size_t lines = 500;
+    std::string burst;
+    for (std::size_t i = 0; i < lines; ++i) {
+        burst += "{\"op\":\"ping\",\"seq\":" + std::to_string(i) + "}\n";
+    }
+    // Writer thread: one socketpair buffer may not hold the whole burst.
+    std::thread writer([&] {
+        std::size_t sent = 0;
+        while (sent < burst.size()) {
+            const ssize_t n = ::send(fds[1], burst.data() + sent, burst.size() - sent,
+                                     MSG_NOSIGNAL);
+            if (n <= 0) {
+                break;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+        ::close(fds[1]);
+    });
+
+    serve::LineReader reader(fds[0]);
+    std::string line;
+    for (std::size_t i = 0; i < lines; ++i) {
+        ASSERT_TRUE(reader.read_line(line, 1 << 20)) << "line " << i;
+        EXPECT_EQ(line, "{\"op\":\"ping\",\"seq\":" + std::to_string(i) + "}");
+    }
+    EXPECT_FALSE(reader.read_line(line, 1 << 20));  // clean EOF
+    writer.join();
+    ::close(fds[0]);
+}
+
+TEST(LineReaderWire, LengthBoundAppliesPerLineNotPerBufferPosition) {
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    // Two short lines followed by one exactly at the bound, all in one
+    // burst: the third line starts deep into the buffer, and the bound must
+    // be measured from the line's own start (the consumed-prefix cursor),
+    // not from the buffer base.
+    const std::size_t max_bytes = 64;
+    const std::string a(40, 'a');
+    const std::string b(40, 'b');
+    const std::string c(max_bytes, 'c');
+    const std::string burst = a + "\n" + b + "\n" + c + "\n";
+    ASSERT_EQ(::send(fds[1], burst.data(), burst.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(burst.size()));
+
+    serve::LineReader reader(fds[0]);
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line, max_bytes));
+    EXPECT_EQ(line, a);
+    ASSERT_TRUE(reader.read_line(line, max_bytes));
+    EXPECT_EQ(line, b);
+    ASSERT_TRUE(reader.read_line(line, max_bytes));
+    EXPECT_EQ(line, c);
+
+    // One byte past the bound is cut off.
+    const std::string too_long(max_bytes + 1, 'd');
+    const std::string tail = too_long + "\n";
+    ASSERT_EQ(::send(fds[1], tail.data(), tail.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(tail.size()));
+    EXPECT_FALSE(reader.read_line(line, max_bytes));
+
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(LineReaderWire, LineSplitAcrossRecvBoundariesAssembles) {
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    serve::LineReader reader(fds[0]);
+    std::string line;
+    const std::string full = "{\"op\":\"submit\",\"payload\":\"0123456789\"}";
+    std::thread writer([&] {
+        for (const char ch : full) {
+            ASSERT_EQ(::send(fds[1], &ch, 1, MSG_NOSIGNAL), 1);
+        }
+        const char newline = '\n';
+        ASSERT_EQ(::send(fds[1], &newline, 1, MSG_NOSIGNAL), 1);
+        ::close(fds[1]);
+    });
+    ASSERT_TRUE(reader.read_line(line, 1 << 10));
+    EXPECT_EQ(line, full);
+    EXPECT_FALSE(reader.read_line(line, 1 << 10));  // EOF, no torn frame left
+    writer.join();
+    ::close(fds[0]);
+}
+
+TEST_F(ServeTest, DrainInterruptsRetryBackoffWithinGracePeriod) {
+    // Regression test: the retry backoff was a monolithic sleep_for that
+    // ignored the CancelToken — with a seconds-scale backoff cap, a SIGTERM
+    // drain arriving mid-backoff blocked wait() for the full backoff, far
+    // past the grace period. The backoff now sleeps in token-polling slices.
+    serve::ServerConfig config;
+    config.max_retries = 3;
+    config.retry_backoff_ms = 60000;  // one backoff alone dwarfs the test budget
+    config.retry_backoff_cap_ms = 60000;
+    config.drain_seconds = 0.2;
+    start(config);
+
+    failpoint::Config fault;
+    fault.mode = failpoint::Mode::inject_throw;  // fires forever: always retrying
+    failpoint::configure("serve.job", fault);
+
+    std::optional<JsonValue> response;
+    std::thread submitter([&] {
+        serve::Client client;
+        ASSERT_TRUE(client.connect_wait(socket_path_, 5.0));
+        response = client.request(submit_line(tiny_spec()));
+    });
+    // Give the job time to fail its first attempt and enter the backoff.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    const auto drain_start = std::chrono::steady_clock::now();
+    server_->request_drain();
+    server_->wait();
+    const double drain_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - drain_start)
+            .count();
+    submitter.join();
+    failpoint::clear("serve.job");
+
+    // Well within the grace period + slack; without the fix this is >= 60 s.
+    EXPECT_LT(drain_seconds, 10.0);
+    // The pending client still got a typed answer, not a dropped socket.
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(member(*response, "ok").as_bool());
     server_.reset();
 }
 
